@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Bechamel Benchmark Dps Dps_ds Dps_machine Dps_memcached Dps_simcore Dps_sthread Fun Hashtbl Instance List Measure Printf Staged Test Time Toolkit

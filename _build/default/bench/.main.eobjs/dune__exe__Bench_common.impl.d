@@ -1,0 +1,1 @@
+bench/bench_common.ml: Array Dps Dps_ds Dps_ffwd Dps_machine Dps_simcore Dps_sthread Dps_workload List Printf String Sys

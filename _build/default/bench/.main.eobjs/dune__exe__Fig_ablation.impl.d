@@ -1,0 +1,1 @@
+bench/fig_ablation.ml: Array Bench_common Dps Dps_ds Dps_machine Dps_simcore Dps_sthread Dps_sync Dps_workload Fun List Printf

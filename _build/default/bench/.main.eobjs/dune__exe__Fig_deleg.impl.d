@@ -1,0 +1,1 @@
+bench/fig_deleg.ml: Array Bench_common Dps Dps_ffwd Dps_machine Dps_simcore Dps_sthread Dps_workload List Printf

@@ -1,0 +1,1 @@
+bench/fig_mc.ml: Array Bench_common Dps_machine Dps_memcached Dps_simcore Dps_sthread Dps_workload Fun List Printf

@@ -1,0 +1,1 @@
+bench/fig_sets.ml: Bench_common Dps_ds Dps_machine Dps_parsec Dps_workload List Printf String

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel_suite Bench_common Fig_ablation Fig_deleg Fig_mc Fig_rw Fig_sets List Printf Sys Unix

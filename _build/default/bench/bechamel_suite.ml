@@ -1,0 +1,125 @@
+(** Bechamel microbenchmarks: one [Test.make] per paper table/figure,
+    measuring a scaled-down kernel of that experiment's hot path (real
+    wall-clock of the simulator, not simulated cycles — these quantify the
+    harness itself). *)
+
+open Bechamel
+open Toolkit
+module Machine = Dps_machine.Machine
+module Sthread = Dps_sthread.Sthread
+module Alloc = Dps_sthread.Alloc
+module Prng = Dps_simcore.Prng
+
+let set_kernel name (module S : Dps_ds.Set_intf.SET) =
+  let m = Machine.create (Machine.config_scaled ()) in
+  let alloc = Alloc.create m ~cold:Alloc.Spread in
+  let s = S.create alloc in
+  for i = 1 to 1024 do
+    ignore (S.insert s ~key:(((i * 2654435761) land 0xFFFFFF) + 1) ~value:i)
+  done;
+  let p = Prng.create 77L in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let key = 1 + Prng.int p 4096 in
+         match Prng.int p 3 with
+         | 0 -> ignore (S.insert s ~key ~value:key)
+         | 1 -> ignore (S.remove s key)
+         | _ -> ignore (S.lookup s key)))
+
+let dps_kernel () =
+  Test.make ~name:"fig3/6: DPS delegated call (mini sim)"
+    (Staged.stage (fun () ->
+         let m = Machine.create (Machine.config_scaled ()) in
+         let sched = Sthread.create m in
+         let dps =
+           Dps.create sched ~nclients:20 ~locality_size:10 ~hash:Fun.id ~mk_data:(fun _ -> ()) ()
+         in
+         for c = 0 to 19 do
+           Sthread.spawn sched ~hw:(Dps.client_hw dps c) (fun () ->
+               Dps.attach dps ~client:c;
+               for k = 0 to 4 do
+                 ignore (Dps.call dps ~key:k (fun () -> 0))
+               done;
+               Dps.client_done dps;
+               Dps.drain dps)
+         done;
+         Sthread.run sched))
+
+let rw_kernel () =
+  let m = Machine.create (Machine.config_scaled ()) in
+  let o = Dps_ds.Rw_object.create m Machine.Interleave ~objects:64 ~lines:4 ~write_lines:4 in
+  let sched = Sthread.create m in
+  let i = ref 0 in
+  Test.make ~name:"fig7/8/table2: rw-object op (1-thread sim)"
+    (Staged.stage (fun () ->
+         incr i;
+         let idx = !i mod 64 in
+         Sthread.spawn sched ~hw:0 (fun () -> Dps_ds.Rw_object.operate o idx);
+         Sthread.run sched))
+
+let machine_kernel () =
+  let m = Machine.create Machine.config_default in
+  let a = Machine.alloc m Machine.Interleave ~lines:4096 in
+  let i = ref 0 in
+  Test.make ~name:"machine: coherent access model"
+    (Staged.stage (fun () ->
+         incr i;
+         let thread = !i * 7 mod 80 and addr = a + (!i * 13 mod 4096) in
+         let kind = if !i land 1 = 0 then Machine.Read else Machine.Write in
+         ignore (Machine.access m ~now:!i ~thread ~addr ~kind)))
+
+let mc_kernel () =
+  let m = Machine.create (Machine.config_scaled ()) in
+  let alloc = Alloc.create m ~cold:Alloc.Spread in
+  let c = Dps_memcached.Mc_core.create alloc ~buckets:1024 ~capacity:4096 ~recency:Dps_memcached.Mc_core.Lru_list in
+  for k = 0 to 2047 do
+    Dps_memcached.Mc_core.set c ~key:k ~val_lines:2
+  done;
+  let p = Prng.create 99L in
+  Test.make ~name:"fig13: memcached get/set"
+    (Staged.stage (fun () ->
+         let key = Prng.int p 2048 in
+         if Prng.int p 100 = 0 then Dps_memcached.Mc_core.set c ~key ~val_lines:2
+         else ignore (Dps_memcached.Mc_core.get c key)))
+
+let hist_kernel () =
+  let h = Dps_simcore.Histogram.create () in
+  let p = Prng.create 5L in
+  Test.make ~name:"latency: histogram add+percentile"
+    (Staged.stage (fun () ->
+         Dps_simcore.Histogram.add h (Prng.int p 1_000_000);
+         ignore (Dps_simcore.Histogram.percentile h 0.99)))
+
+let tests () =
+  Test.make_grouped ~name:"dps-repro" ~fmt:"%s %s"
+    [
+      set_kernel "fig2: bst-tk op" (module Dps_ds.Bst_tk);
+      dps_kernel ();
+      rw_kernel ();
+      machine_kernel ();
+      set_kernel "fig9/10: lf-m list op" (module Dps_ds.Ll_michael);
+      set_kernel "fig11: lf-n bst op" (module Dps_ds.Bst_ellen);
+      set_kernel "fig12: lf-f skiplist op" (module Dps_ds.Sl_fraser);
+      mc_kernel ();
+      hist_kernel ();
+    ]
+
+let run () =
+  print_endline "\n=== Bechamel kernels (real time per run) ===";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false () in
+  let raw_results = Benchmark.all cfg instances (tests ()) in
+  let results = List.map (fun instance -> Analyze.all ols instance raw_results) instances in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure tbl ->
+      if measure = Measure.label Instance.monotonic_clock then
+        Hashtbl.iter
+          (fun name ols_result ->
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> Printf.printf "%-45s %12.1f ns/run\n" name est
+            | Some _ | None -> Printf.printf "%-45s (no estimate)\n" name)
+          tbl)
+    results;
+  print_newline ()

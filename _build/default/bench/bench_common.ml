@@ -1,0 +1,216 @@
+(** Shared plumbing for the paper-figure benchmarks: building machines,
+    populating structures, and running the set benchmark of §5.2 under the
+    shared-memory, ffwd and DPS harnesses. *)
+
+module Machine = Dps_machine.Machine
+module Topology = Dps_machine.Topology
+module Sthread = Dps_sthread.Sthread
+module Alloc = Dps_sthread.Alloc
+module Prng = Dps_simcore.Prng
+module Keydist = Dps_workload.Keydist
+module Driver = Dps_workload.Driver
+
+module type SET = Dps_ds.Set_intf.SET
+
+let quick = Sys.getenv_opt "BENCH_QUICK" <> None
+
+(* Full-size machine for contention experiments; capacity experiments use
+   the scaled machine with working sets scaled the same way (factor 16), so
+   the LLC knee falls at the same relative position. *)
+let full_config = Machine.config_default
+let scaled_config = Machine.config_scaled ()
+let scale_factor = 16
+
+let default_duration = if quick then 100_000 else 300_000
+
+type workload = {
+  threads : int;
+  size : int;  (* initial key population *)
+  update_pct : int;  (* 0..100 *)
+  skewed : bool;
+  duration : int;
+  min_ops : int option;  (* per-thread floor, for very long operations *)
+}
+
+let workload ?(threads = 80) ?(size = 4096) ?(update_pct = 50) ?(skewed = true)
+    ?(duration = default_duration) ?min_ops () =
+  { threads; size; update_pct; skewed; duration; min_ops }
+
+(* Distinct initial keys: odd keys so the benchmark key range (2x size)
+   interleaves hits and misses, as in ASCYLIB's harness. *)
+let population_keys ~size ~seed =
+  let prng = Prng.create seed in
+  let keys = Array.init size (fun i -> (2 * i) + 1) in
+  for i = size - 1 downto 1 do
+    let j = Prng.int prng (i + 1) in
+    let tmp = keys.(i) in
+    keys.(i) <- keys.(j);
+    keys.(j) <- tmp
+  done;
+  keys
+
+type populate_order = Descending | Balanced | Shuffled
+
+(* Cold population. Lists need descending order (O(1) at the head); BSTs
+   get either a balanced insertion order or the shuffled order whose depth
+   matches random insertion. *)
+let populate (type a) (module S : SET with type t = a) (set : a) ~keys ~order =
+  match order with
+  | Shuffled -> Array.iter (fun key -> ignore (S.insert set ~key ~value:key)) keys
+  | Descending ->
+      let sorted = Array.copy keys in
+      Array.sort (fun a b -> compare b a) sorted;
+      Array.iter (fun key -> ignore (S.insert set ~key ~value:key)) sorted
+  | Balanced ->
+      let sorted = Array.copy keys in
+      Array.sort compare sorted;
+      let rec go lo hi =
+        if lo <= hi then begin
+          let mid = (lo + hi) / 2 in
+          ignore (S.insert set ~key:sorted.(mid) ~value:sorted.(mid));
+          go lo (mid - 1);
+          go (mid + 1) hi
+        end
+      in
+      go 0 (Array.length sorted - 1)
+
+let order_for_name name =
+  if String.length name >= 3 && String.sub name 0 3 = "bst" then Balanced
+  else
+    match name with
+    | "lb-b" | "lf-n" | "lf-h" | "bst-tk" -> Balanced
+    | "lb-h" | "lf-f" | "lf-s" -> Shuffled
+    | _ -> Descending
+
+(* The §5.2 per-operation mix: pick a key from [0, 2*size), then update
+   (half inserts, half removes) or lookup. *)
+let mk_op_mix (w : workload) ~insert ~remove ~lookup =
+  let dist =
+    if w.skewed then Keydist.zipf ~range:(2 * w.size) ()
+    else Keydist.uniform ~range:(2 * w.size)
+  in
+  fun ~tid:_ ~step:_ ->
+    let p = Sthread.self_prng () in
+    let key = Keydist.sample dist p in
+    if Prng.int p 100 < w.update_pct then
+      if Prng.bool p then insert key else remove key
+    else lookup key
+
+(* --- shared-memory harness --- *)
+
+let run_shared (module S : SET) ~config (w : workload) =
+  let m = Machine.create config in
+  let sched = Sthread.create m in
+  let alloc = Alloc.create m ~cold:Alloc.Spread in
+  let set = S.create alloc in
+  populate (module S) set ~keys:(population_keys ~size:w.size ~seed:11L) ~order:(order_for_name S.name);
+  S.maintenance set;
+  Driver.measure ~sched ~threads:w.threads ~duration:w.duration ?min_ops:w.min_ops
+    ~op:
+      (mk_op_mix w
+         ~insert:(fun key -> ignore (S.insert set ~key ~value:key))
+         ~remove:(fun key -> ignore (S.remove set key))
+         ~lookup:(fun key -> ignore (S.lookup set key)))
+    ()
+
+(* --- DPS harness: one S.t per partition, locality of 10, as in §5 --- *)
+
+(* Mix keys before the modulo so partition load does not depend on key
+   parity or stride (populations use odd keys). *)
+let partition_hash k = (k * 0x9E3779B1) lsr 8
+
+let run_dps (module S : SET) ~config ?(locality_size = 10) (w : workload) =
+  let m = Machine.create config in
+  let sched = Sthread.create m in
+  let dps =
+    Dps.create sched ~nclients:w.threads ~locality_size
+      ~hash:partition_hash
+      ~mk_data:(fun (info : Dps.partition_info) -> S.create info.Dps.alloc)
+      ()
+  in
+  let keys = population_keys ~size:w.size ~seed:11L in
+  (* per-partition cold population in that structure's preferred order *)
+  let nparts = Dps.npartitions dps in
+  let parts = Array.make nparts [] in
+  Array.iter
+    (fun k -> parts.(Dps.partition_of_key dps k) <- k :: parts.(Dps.partition_of_key dps k))
+    keys;
+  for p = 0 to nparts - 1 do
+    let part = Dps.partition_data dps p in
+    populate (module S) part ~keys:(Array.of_list parts.(p)) ~order:(order_for_name S.name);
+    S.maintenance part
+  done;
+  let placement = Array.init w.threads (Dps.client_hw dps) in
+  Driver.measure ~sched ~threads:w.threads ~placement ~duration:w.duration ?min_ops:w.min_ops
+    ~prologue:(fun ~tid -> Dps.attach dps ~client:tid)
+    ~epilogue:(fun ~tid:_ ->
+      Dps.client_done dps;
+      Dps.drain dps)
+    ~op:
+      (mk_op_mix w
+         ~insert:(fun key ->
+           ignore (Dps.call dps ~key (fun s -> if S.insert s ~key ~value:key then 1 else 0)))
+         ~remove:(fun key -> ignore (Dps.call dps ~key (fun s -> if S.remove s key then 1 else 0)))
+         ~lookup:(fun key ->
+           ignore (Dps.call dps ~key (fun s -> match S.lookup s key with Some v -> v | None -> -1))))
+    ()
+
+(* --- ffwd harness: data sharded across 1 or 4 dedicated servers --- *)
+
+let run_ffwd (module S : SET) ~config ~servers (w : workload) =
+  let m = Machine.create config in
+  let topo = Machine.topology m in
+  let sched = Sthread.create m in
+  (* servers take the first hardware thread of each socket *)
+  let server_hw =
+    Array.init servers (fun i -> i * topo.Topology.cores_per_socket * topo.Topology.threads_per_core)
+  in
+  let shards =
+    Array.map
+      (fun hw ->
+        let node = Topology.socket_of_thread topo hw in
+        S.create (Alloc.create m ~cold:(Alloc.Node node)))
+      server_hw
+  in
+  let f = Dps_ffwd.Ffwd.create sched ~server_hw ~clients:w.threads in
+  let keys = population_keys ~size:w.size ~seed:11L in
+  let per_shard = Array.make servers [] in
+  Array.iter (fun k -> per_shard.(k mod servers) <- k :: per_shard.(k mod servers)) keys;
+  for s = 0 to servers - 1 do
+    populate (module S) shards.(s) ~keys:(Array.of_list per_shard.(s)) ~order:(order_for_name S.name);
+    S.maintenance shards.(s)
+  done;
+  (* clients avoid the server threads *)
+  let all = Topology.placement topo ~n:(min (Topology.nthreads topo) (w.threads + servers)) in
+  let server_set = Array.to_list server_hw in
+  let client_hws = Array.of_list (List.filter (fun hw -> not (List.mem hw server_set)) (Array.to_list all)) in
+  let placement = Array.init w.threads (fun i -> client_hws.(i mod Array.length client_hws)) in
+  let shard_call key op = Dps_ffwd.Ffwd.call f ~server:(key mod servers) (fun () -> op shards.(key mod servers)) in
+  Driver.measure ~sched ~threads:w.threads ~placement ~duration:w.duration ?min_ops:w.min_ops
+    ~prologue:(fun ~tid -> Dps_ffwd.Ffwd.attach f ~client:tid)
+    ~epilogue:(fun ~tid:_ -> Dps_ffwd.Ffwd.client_done f)
+    ~op:
+      (mk_op_mix w
+         ~insert:(fun key -> ignore (shard_call key (fun s -> if S.insert s ~key ~value:key then 1 else 0)))
+         ~remove:(fun key -> ignore (shard_call key (fun s -> if S.remove s key then 1 else 0)))
+         ~lookup:(fun key ->
+           ignore (shard_call key (fun s -> match S.lookup s key with Some v -> v | None -> -1))))
+    ()
+
+(* --- printing --- *)
+
+let print_header title = Printf.printf "\n=== %s ===\n%!" title
+
+let print_series ~label (xs : (string * Driver.result) list) =
+  Printf.printf "%-14s %s\n" label
+    (String.concat "  " (List.map (fun (x, _) -> Printf.sprintf "%10s" x) xs));
+  Printf.printf "%-14s %s\n%!" ""
+    (String.concat "  "
+       (List.map (fun (_, r) -> Printf.sprintf "%10.3f" r.Driver.throughput_mops) xs))
+
+let print_misses ~label (xs : (string * Driver.result) list) =
+  Printf.printf "%-14s %s  (LLC misses/op)\n%!" (label ^ " miss")
+    (String.concat "  "
+       (List.map (fun (_, r) -> Printf.sprintf "%10.2f" r.Driver.llc_misses_per_op) xs))
+
+let core_counts = if quick then [ 10; 40; 80 ] else [ 10; 20; 30; 40; 50; 60; 70; 80 ]

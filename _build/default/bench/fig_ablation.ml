@@ -1,0 +1,163 @@
+(** Ablations over DPS's design knobs, as called out in DESIGN.md:
+
+    - locality size (§4.1: "choose the locality size smaller than the
+      scalability knee"; §5.2 notes bst localities "might benefit from
+      being larger");
+    - check budget (§4.3's local/remote latency trade);
+    - ring slots (§4.4 asynchronous execution backpressure);
+    - dedicated pollers (§4.4 liveness) under busy clients. *)
+
+open Bench_common
+module Sthread = Dps_sthread.Sthread
+module Simops = Dps_sthread.Simops
+module Prng = Dps_simcore.Prng
+module Driver = Dps_workload.Driver
+
+let locality_size () =
+  print_header "Ablation: DPS locality size (bst-tk, skewed 4K, 50% update, 80 threads)";
+  let sizes = if quick then [ 5; 10; 40 ] else [ 5; 10; 20; 40 ] in
+  let pts =
+    List.map
+      (fun ls ->
+        ( string_of_int ls,
+          run_dps
+            (module Dps_ds.Bst_tk)
+            ~config:full_config ~locality_size:ls
+            (workload ~threads:80 ~size:4096 ~update_pct:50 ~skewed:true ()) ))
+      sizes
+  in
+  Printf.printf "x = hyperthreads per locality (partitions = 80/x)\n";
+  print_series ~label:"DPS/bst-tk" pts
+
+let run_deleg ?(ring_slots = 16) ?(check_budget = 4) ?(async = false) ?(delay = 0) ~op_len () =
+  let m = Dps_machine.Machine.create full_config in
+  let sched = Sthread.create m in
+  let dps =
+    Dps.create sched ~nclients:80 ~locality_size:10 ~hash:Fun.id ~ring_slots ~check_budget
+      ~mk_data:(fun _ -> ())
+      ()
+  in
+  let placement = Array.init 80 (Dps.client_hw dps) in
+  Driver.measure ~sched ~threads:80 ~placement ~duration:default_duration
+    ~prologue:(fun ~tid -> Dps.attach dps ~client:tid)
+    ~epilogue:(fun ~tid:_ ->
+      Dps.client_done dps;
+      Dps.drain dps)
+    ~op:(fun ~tid:_ ~step:_ ->
+      let p = Sthread.self_prng () in
+      let key = Prng.int p 512 in
+      let spin () =
+        if op_len > 0 then Simops.work op_len;
+        0
+      in
+      if async then Dps.execute_async dps ~key (fun () -> spin ())
+      else ignore (Dps.call dps ~key (fun () -> spin ()));
+      if delay > 0 then Simops.work delay)
+    ()
+
+let check_budget () =
+  print_header "Ablation: check budget (serves per own-completion check; 500-cycle ops, 80 threads)";
+  Printf.printf "%-8s %12s %10s %10s\n" "budget" "Mops/s" "p50" "p99";
+  List.iter
+    (fun b ->
+      let r = run_deleg ~check_budget:b ~op_len:500 () in
+      Printf.printf "%-8d %12.3f %10d %10d\n%!" b r.Driver.throughput_mops r.Driver.p50
+        r.Driver.p99)
+    (if quick then [ 1; 4; 32 ] else [ 1; 2; 4; 8; 16; 32 ])
+
+let ring_slots () =
+  print_header "Ablation: ring slots (asynchronous flood, 500-cycle ops + 1000-cycle delay)";
+  Printf.printf "%-8s %12s\n" "slots" "Mops/s";
+  List.iter
+    (fun n ->
+      let r = run_deleg ~ring_slots:n ~async:true ~op_len:500 ~delay:1000 () in
+      Printf.printf "%-8d %12.3f\n%!" n r.Driver.throughput_mops)
+    (if quick then [ 2; 16 ] else [ 2; 4; 16; 64 ])
+
+let pollers () =
+  print_header "Ablation: dedicated pollers under busy localities (§4.4 liveness)";
+  let run ~poller =
+    let m = Dps_machine.Machine.create full_config in
+    let sched = Sthread.create m in
+    let dps =
+      Dps.create sched ~nclients:20 ~locality_size:10 ~hash:Fun.id ~dedicated_pollers:poller
+        ~mk_data:(fun _ -> ())
+        ()
+    in
+    if poller then Sthread.spawn sched ~hw:21 (fun () -> Dps.run_poller dps ~pid:1);
+    let hist = Dps_simcore.Histogram.create () in
+    for c = 0 to 19 do
+      Sthread.spawn sched ~hw:(Dps.client_hw dps c) (fun () ->
+          Dps.attach dps ~client:c;
+          if c < 10 then
+            (* locality 0: delegate to locality 1 and measure latency *)
+            for _ = 1 to 20 do
+              let t0 = Sthread.time () in
+              ignore (Dps.call dps ~key:1 (fun () -> 0));
+              Dps_simcore.Histogram.add hist (Sthread.time () - t0)
+            done
+          else begin
+            (* locality 1: mostly busy outside DPS *)
+            for _ = 1 to 10 do
+              Sthread.work 20_000;
+              ignore (Dps.serve dps ~max:4)
+            done
+          end;
+          Dps.client_done dps;
+          Dps.drain dps)
+    done;
+    Sthread.run sched;
+    hist
+  in
+  let no_poller = run ~poller:false and with_poller = run ~poller:true in
+  Printf.printf "%-12s %10s %10s\n" "mode" "p50" "p99";
+  Printf.printf "%-12s %10d %10d\n" "no poller"
+    (Dps_simcore.Histogram.percentile no_poller 0.5)
+    (Dps_simcore.Histogram.percentile no_poller 0.99);
+  Printf.printf "%-12s %10d %10d\n%!" "poller"
+    (Dps_simcore.Histogram.percentile with_poller 0.5)
+    (Dps_simcore.Histogram.percentile with_poller 0.99)
+
+(* MCS vs NUMA-aware cohort lock on the contended r/w-object workload —
+   the related-work alternative (Dice et al.) to DPS's restructuring. *)
+let cohort_vs_mcs () =
+  print_header "Ablation: MCS vs cohort lock (64 objects x 8 lines, 80 threads)";
+  let run_lock mk_lock =
+    let m = Dps_machine.Machine.create full_config in
+    let sched = Sthread.create m in
+    let alloc = Dps_sthread.Alloc.create m ~cold:Dps_sthread.Alloc.Spread in
+    let o = Dps_ds.Rw_object.create m Dps_machine.Machine.Interleave ~objects:64 ~lines:8 ~write_lines:8 in
+    let locks = Array.init 64 (fun _ -> mk_lock alloc m) in
+    Driver.measure ~sched ~threads:80 ~duration:default_duration
+      ~op:(fun ~tid:_ ~step:_ ->
+        let p = Sthread.self_prng () in
+        let i = Prng.int p 64 in
+        let acquire, release = locks.(i) in
+        acquire ();
+        Dps_ds.Rw_object.operate o i;
+        release ())
+      ()
+  in
+  let mcs =
+    run_lock (fun alloc _ ->
+        let l = Dps_sync.Mcs.create alloc in
+        ((fun () -> Dps_sync.Mcs.acquire l), fun () -> Dps_sync.Mcs.release l))
+  in
+  let cohort =
+    run_lock (fun alloc m ->
+        let l = Dps_sync.Cohort.create alloc m in
+        ((fun () -> Dps_sync.Cohort.acquire l), fun () -> Dps_sync.Cohort.release l))
+  in
+  Printf.printf "%-8s %12s %10s
+" "lock" "Mops/s" "p99";
+  Printf.printf "%-8s %12.3f %10d
+" "mcs" mcs.Driver.throughput_mops mcs.Driver.p99;
+  Printf.printf "%-8s %12.3f %10d
+%!" "cohort" cohort.Driver.throughput_mops cohort.Driver.p99
+
+let all () =
+  locality_size ();
+  cohort_vs_mcs ();
+  check_budget ();
+  ring_slots ();
+  pollers ()

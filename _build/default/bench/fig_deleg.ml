@@ -1,0 +1,134 @@
+(** Delegation microbenchmarks: Figure 3 (throughput vs operation length),
+    Figure 6(a) (throughput vs cores, empty and 500-cycle operations) and
+    Figure 6(b) (responsiveness vs inter-operation delay, with the
+    asynchronous DPS optimisation). The "data structure operation" is a
+    pure spin of the given length, as in §5.1. *)
+
+open Bench_common
+module Sthread = Dps_sthread.Sthread
+module Simops = Dps_sthread.Simops
+module Prng = Dps_simcore.Prng
+module Driver = Dps_workload.Driver
+module Topology = Dps_machine.Topology
+module Ffwd = Dps_ffwd.Ffwd
+
+type mode = Dps_sync | Dps_async | Ffwd_servers of int
+
+(* One run: [threads] clients issue spin-operations of [op_len] cycles on
+   uniformly random keys, pausing [delay] cycles between operations. *)
+let run ~mode ~threads ~op_len ~delay ~duration =
+  let m = Dps_machine.Machine.create full_config in
+  let sched = Sthread.create m in
+  match mode with
+  | Dps_sync | Dps_async ->
+      let dps =
+        Dps.create sched ~nclients:threads ~locality_size:10
+          ~hash:(fun k -> k)
+          ~mk_data:(fun _ -> ())
+          ()
+      in
+      let nparts = Dps.npartitions dps in
+      let op ~tid:_ ~step:_ =
+        let p = Sthread.self_prng () in
+        let key = Prng.int p (64 * nparts) in
+        let spin () =
+          if op_len > 0 then Simops.work op_len;
+          0
+        in
+        (match mode with
+        | Dps_sync -> ignore (Dps.call dps ~key (fun () -> spin ()))
+        | Dps_async | Ffwd_servers _ -> Dps.execute_async dps ~key (fun () -> spin ()));
+        if delay > 0 then Simops.work delay
+      in
+      let placement = Array.init threads (Dps.client_hw dps) in
+      Driver.measure ~sched ~threads ~placement ~duration
+        ~prologue:(fun ~tid -> Dps.attach dps ~client:tid)
+        ~epilogue:(fun ~tid:_ ->
+          Dps.client_done dps;
+          Dps.drain dps)
+        ~op ()
+  | Ffwd_servers servers ->
+      let topo = Dps_machine.Machine.topology m in
+      let server_hw =
+        Array.init servers (fun i ->
+            i * topo.Topology.cores_per_socket * topo.Topology.threads_per_core)
+      in
+      let f = Ffwd.create sched ~server_hw ~clients:threads in
+      let all = Topology.placement topo ~n:(min (Topology.nthreads topo) (threads + servers)) in
+      let server_set = Array.to_list server_hw in
+      let client_hws =
+        Array.of_list (List.filter (fun hw -> not (List.mem hw server_set)) (Array.to_list all))
+      in
+      let placement = Array.init threads (fun i -> client_hws.(i mod Array.length client_hws)) in
+      let op ~tid:_ ~step:_ =
+        let p = Sthread.self_prng () in
+        let server = Prng.int p servers in
+        ignore
+          (Ffwd.call f ~server (fun () ->
+               if op_len > 0 then Simops.work op_len;
+               0));
+        if delay > 0 then Simops.work delay
+      in
+      Driver.measure ~sched ~threads ~placement ~duration
+        ~prologue:(fun ~tid -> Ffwd.attach f ~client:tid)
+        ~epilogue:(fun ~tid:_ -> Ffwd.client_done f)
+        ~op ()
+
+let fig3 () =
+  print_header "Figure 3: throughput vs data-structure operation length (80 threads)";
+  let lengths = if quick then [ 0; 500; 2000 ] else [ 0; 400; 800; 1200; 1600; 2000 ] in
+  let series name mode =
+    let pts =
+      List.map
+        (fun len ->
+          (string_of_int len, run ~mode ~threads:80 ~op_len:len ~delay:0 ~duration:default_duration))
+        lengths
+    in
+    print_series ~label:name pts
+  in
+  Printf.printf "x = operation length (cycles)\n";
+  series "DPS" Dps_sync;
+  series "ffwd-s1" (Ffwd_servers 1);
+  series "ffwd-s4" (Ffwd_servers 4)
+
+let fig6a () =
+  print_header "Figure 6(a): delegation throughput vs cores (empty / 500-cycle ops)";
+  let series name mode op_len =
+    let pts =
+      List.map
+        (fun n ->
+          ( string_of_int n,
+            run ~mode ~threads:n ~op_len ~delay:0 ~duration:default_duration ))
+        core_counts
+    in
+    print_series ~label:name pts
+  in
+  Printf.printf "x = cores\n";
+  series "DPS" Dps_sync 0;
+  series "ffwd-s1" (Ffwd_servers 1) 0;
+  series "ffwd-s4" (Ffwd_servers 4) 0;
+  series "DPS-500" Dps_sync 500;
+  series "ffwd-s1-500" (Ffwd_servers 1) 500;
+  series "ffwd-s4-500" (Ffwd_servers 4) 500
+
+let fig6b () =
+  print_header "Figure 6(b): throughput vs inter-operation delay (80 threads, empty ops)";
+  let delays = if quick then [ 0; 4000; 10000 ] else [ 0; 2000; 4000; 6000; 8000; 10000 ] in
+  let series name mode =
+    let pts =
+      List.map
+        (fun d ->
+          (string_of_int d, run ~mode ~threads:80 ~op_len:0 ~delay:d ~duration:default_duration))
+        delays
+    in
+    print_series ~label:name pts
+  in
+  Printf.printf "x = delay between operations (cycles)\n";
+  series "DPS" Dps_sync;
+  series "DPS-a" Dps_async;
+  series "ffwd-s4" (Ffwd_servers 4)
+
+let all () =
+  fig3 ();
+  fig6a ();
+  fig6b ()

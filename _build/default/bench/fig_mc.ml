@@ -1,0 +1,128 @@
+(** The memcached study of §5.3: Figure 13(a–d) and the tail-latency
+    comparison. Five variants (stock, ffwd, ParSec, DPS, DPS-ParSec) driven
+    by a YCSB-style Zipfian trace; the cache is pre-populated and never
+    evicts (the paper's 1 M items fit memory), so sets are updates. The
+    1 M-item store runs /16-scaled with the scaled machine. *)
+
+open Bench_common
+module Sthread = Dps_sthread.Sthread
+module Prng = Dps_simcore.Prng
+module Driver = Dps_workload.Driver
+module Keydist = Dps_workload.Keydist
+module Variants = Dps_memcached.Variants
+
+let items = if quick then 16384 else 65536 (* 1 M items / 16 *)
+
+type which = Stock | Parsec | Ffwd_mc | Dps_mc | Dps_parsec
+
+let name_of = function
+  | Stock -> "stock"
+  | Parsec -> "ParSec"
+  | Ffwd_mc -> "ffwd"
+  | Dps_mc -> "DPS-stock"
+  | Dps_parsec -> "DPS-ParSec"
+
+let variants = [ Dps_parsec; Parsec; Dps_mc; Stock; Ffwd_mc ]
+
+let make which sched ~threads =
+  let buckets = items and capacity = 2 * items in
+  match which with
+  | Stock -> Variants.stock sched ~nclients:threads ~buckets ~capacity
+  | Parsec -> Variants.parsec sched ~nclients:threads ~buckets ~capacity
+  | Ffwd_mc -> Variants.ffwd_mc sched ~nclients:threads ~buckets ~capacity
+  | Dps_mc -> Variants.dps_mc sched ~nclients:threads ~locality_size:10 ~buckets ~capacity
+  | Dps_parsec ->
+      Variants.dps_parsec sched ~nclients:threads ~locality_size:10 ~buckets ~capacity
+
+let run which ~threads ~set_pct ~val_lines ~duration =
+  let m = Dps_machine.Machine.create scaled_config in
+  let sched = Sthread.create m in
+  let v = make which sched ~threads in
+  v.Variants.populate ~keys:(Array.init items Fun.id) ~val_lines;
+  let dist = Keydist.zipf ~range:items () in
+  Driver.measure ~sched ~threads
+    ~placement:(Array.init threads v.Variants.client_hw)
+    ~duration
+    ~prologue:(fun ~tid -> v.Variants.attach tid)
+    ~epilogue:(fun ~tid:_ -> v.Variants.finish ())
+    ~op:(fun ~tid:_ ~step:_ ->
+      let p = Sthread.self_prng () in
+      let key = Keydist.sample dist p in
+      if Prng.int p 100 < set_pct then v.Variants.set ~key ~val_lines
+      else ignore (v.Variants.get key))
+    ()
+
+let fig13a () =
+  print_header "Figure 13(a): memcached, 128 B values, 1% set, vs cores";
+  List.iter
+    (fun which ->
+      let pts =
+        List.map
+          (fun n ->
+            ( string_of_int n,
+              run which ~threads:n ~set_pct:1 ~val_lines:2 ~duration:default_duration ))
+          core_counts
+      in
+      print_series ~label:(name_of which) pts)
+    variants
+
+let fig13b () =
+  print_header "Figure 13(b): memcached, 1 KB values, 20% set, vs cores";
+  List.iter
+    (fun which ->
+      let pts =
+        List.map
+          (fun n ->
+            ( string_of_int n,
+              run which ~threads:n ~set_pct:20 ~val_lines:16 ~duration:default_duration ))
+          core_counts
+      in
+      print_series ~label:(name_of which) pts)
+    variants
+
+let fig13c () =
+  print_header "Figure 13(c): memcached, 128 B values, 80 cores, vs set ratio";
+  let ratios = if quick then [ 1; 50; 99 ] else [ 1; 20; 40; 60; 80; 99 ] in
+  List.iter
+    (fun which ->
+      let pts =
+        List.map
+          (fun s ->
+            ( string_of_int s,
+              run which ~threads:80 ~set_pct:s ~val_lines:2 ~duration:default_duration ))
+          ratios
+      in
+      print_series ~label:(name_of which) pts)
+    variants
+
+let fig13d () =
+  print_header "Figure 13(d): memcached, 1% set, 80 cores, vs value size (lines)";
+  let sizes = if quick then [ 1; 8; 32 ] else [ 1; 2; 8; 16; 32 ] in
+  List.iter
+    (fun which ->
+      let pts =
+        List.map
+          (fun l ->
+            ( string_of_int l,
+              run which ~threads:80 ~set_pct:1 ~val_lines:l ~duration:default_duration ))
+          sizes
+      in
+      print_series ~label:(name_of which) pts)
+    variants
+
+let latency () =
+  print_header "Memcached tail latency, 128 B values, 1% set, 80 cores (§5.3)";
+  Printf.printf "%-12s %10s %10s %10s %12s\n" "variant" "p50" "p99" "p99.9" "mean (cyc)";
+  List.iter
+    (fun which ->
+      let r = run which ~threads:80 ~set_pct:1 ~val_lines:2 ~duration:default_duration in
+      Printf.printf "%-12s %10d %10d %10d %12.1f\n%!" (name_of which) r.Driver.p50 r.Driver.p99
+        r.Driver.p999 r.Driver.mean_latency)
+    variants
+
+let all () =
+  fig13a ();
+  fig13b ();
+  fig13c ();
+  fig13d ();
+  latency ()

@@ -1,0 +1,60 @@
+(** Regenerates every table and figure of the paper's evaluation (§2, §5).
+    Run all experiments with [dune exec bench/main.exe], or a subset with
+    e.g. [dune exec bench/main.exe -- fig6a fig13]. Set [BENCH_QUICK=1] for
+    a fast smoke pass with fewer points. *)
+
+let table1 () =
+  Bench_common.print_header "Table 1: comparison of data-structure implementations (qualitative)";
+  print_string
+    "implementation | complexity | coherence | locality | parallelism\n\
+     lock-based     | easy       | large     | poor     | low\n\
+     non-blocking   | hard       | medium    | poor     | high\n\
+     delegation     | easy       | none      | good     | low\n\
+     DPS            | easy       | none      | good     | highest\n"
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ("table1", "qualitative comparison table", table1);
+    ("fig2", "shared-memory bst/skiplist motivation", Fig_sets.fig2);
+    ("fig3", "delegation throughput vs op length", Fig_deleg.fig3);
+    ("fig6a", "delegation throughput vs cores", Fig_deleg.fig6a);
+    ("fig6b", "responsiveness vs inter-op delay", Fig_deleg.fig6b);
+    ("fig7", "rw-object throughput vs cores (4 panels)", Fig_rw.fig7);
+    ("fig8", "rw-object sweeps at 80 cores (+ misses)", Fig_rw.fig8);
+    ("table2", "5 GB working set", Fig_rw.table2);
+    ("fig9", "DPS improvement bars over 8 structures", Fig_sets.fig9);
+    ("fig10", "linked-list panels", Fig_sets.fig10);
+    ("fig11", "bst panels", Fig_sets.fig11);
+    ("fig12", "skip-list panels", Fig_sets.fig12);
+    ("fig13", "memcached panels + tail latency", Fig_mc.all);
+    ("ablations", "DPS design-knob ablations", Fig_ablation.all);
+    ("bechamel", "Bechamel kernels (one per figure)", Bechamel_suite.run);
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [experiment ...]   (default: all)";
+  List.iter (fun (n, d, _) -> Printf.printf "  %-9s %s\n" n d) experiments
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--help" ] | [ "-h" ] -> usage ()
+  | [] ->
+      let t0 = Unix.gettimeofday () in
+      List.iter
+        (fun (name, _, f) ->
+          let t = Unix.gettimeofday () in
+          f ();
+          Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t))
+        experiments;
+      Printf.printf "\nAll experiments done in %.1fs\n" (Unix.gettimeofday () -. t0)
+  | names ->
+      List.iter
+        (fun name ->
+          match List.find_opt (fun (n, _, _) -> n = name) experiments with
+          | Some (_, _, f) -> f ()
+          | None ->
+              Printf.printf "unknown experiment %S\n" name;
+              usage ();
+              exit 1)
+        names

@@ -1,0 +1,1 @@
+examples/event_driven.ml: Dps Dps_adapters Dps_ds Dps_machine Dps_simcore Dps_sthread Printf

@@ -1,0 +1,1 @@
+examples/kv_cache.ml: Array Dps_machine Dps_memcached Dps_simcore Dps_sthread Dps_workload Fun List Printf

@@ -1,0 +1,1 @@
+examples/numa_explorer.ml: Dps_machine Dps_simcore Dps_sthread Printf

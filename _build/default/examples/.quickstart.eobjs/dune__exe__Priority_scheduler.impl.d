@@ -1,0 +1,1 @@
+examples/priority_scheduler.ml: Dps Dps_ds Dps_machine Dps_simcore Dps_sthread List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dps Dps_ds Dps_machine Dps_sthread Printf

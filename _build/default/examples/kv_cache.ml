@@ -1,0 +1,63 @@
+(* A memcached-style key/value cache, stock vs DPS — the paper's §5.3
+   scenario as a runnable example.
+
+   Both variants serve the same YCSB-like Zipfian workload (1% sets,
+   128-byte values) from 40 simulated threads. The stock cache is one
+   shared hash table + locked LRU; the DPS cache partitions the hash
+   table, LRU *and* slab allocator per locality, delegating sets
+   asynchronously.
+
+   Run with: dune exec examples/kv_cache.exe *)
+
+module Machine = Dps_machine.Machine
+module Sthread = Dps_sthread.Sthread
+module Prng = Dps_simcore.Prng
+module Keydist = Dps_workload.Keydist
+module Driver = Dps_workload.Driver
+module Variants = Dps_memcached.Variants
+
+let items = 20_000
+let threads = 40
+
+let run_variant make =
+  let machine = Machine.create (Machine.config_scaled ()) in
+  let sched = Sthread.create machine in
+  let v : Variants.t = make sched in
+  v.Variants.populate ~keys:(Array.init items Fun.id) ~val_lines:2;
+  let dist = Keydist.zipf ~range:items () in
+  let r =
+    Driver.measure ~sched ~threads
+      ~placement:(Array.init threads v.Variants.client_hw)
+      ~duration:200_000
+      ~prologue:(fun ~tid -> v.Variants.attach tid)
+      ~epilogue:(fun ~tid:_ -> v.Variants.finish ())
+      ~op:(fun ~tid:_ ~step:_ ->
+        let p = Sthread.self_prng () in
+        let key = Keydist.sample dist p in
+        if Prng.int p 100 < 1 then v.Variants.set ~key ~val_lines:2
+        else ignore (v.Variants.get key))
+      ()
+  in
+  (v.Variants.name, r)
+
+let () =
+  print_endline "key/value cache, zipfian workload, 40 threads, 1% sets:";
+  let results =
+    [
+      run_variant (fun sched -> Variants.stock sched ~nclients:threads ~buckets:items ~capacity:(2 * items));
+      run_variant (fun sched ->
+          Variants.dps_mc sched ~nclients:threads ~locality_size:10 ~buckets:items
+            ~capacity:(2 * items));
+      run_variant (fun sched ->
+          Variants.dps_parsec sched ~nclients:threads ~locality_size:10 ~buckets:items
+            ~capacity:(2 * items));
+    ]
+  in
+  Printf.printf "%-12s %12s %10s %10s %14s\n" "variant" "Mops/s" "p50 (cyc)" "p99 (cyc)" "LLC miss/op";
+  List.iter
+    (fun (name, r) ->
+      Printf.printf "%-12s %12.3f %10d %10d %14.2f\n" name r.Driver.throughput_mops r.Driver.p50
+        r.Driver.p99 r.Driver.llc_misses_per_op)
+    results;
+  let tp name = List.assoc name (List.map (fun (n, r) -> (n, r.Driver.throughput_mops)) results) in
+  Printf.printf "\nDPS speedup over stock: %.2fx (throughput)\n" (tp "dps" /. tp "stock")

@@ -1,0 +1,77 @@
+(* NUMA machine explorer: watch the cost model that drives every result in
+   this reproduction.
+
+   Measures, on the simulated 4-socket Xeon, the cycle costs of: cold DRAM
+   reads (local vs remote node), warm private-cache hits, same-socket LLC
+   sharing, cross-socket transfers, and the invalidation cost a writer pays
+   when readers on other sockets share its line — the effects §2 of the
+   paper blames for shared-memory collapse.
+
+   Run with: dune exec examples/numa_explorer.exe *)
+
+module Machine = Dps_machine.Machine
+module Sthread = Dps_sthread.Sthread
+
+let () =
+  let m = Machine.create Machine.config_default in
+  let sched = Sthread.create m in
+  let line_on node = Machine.alloc m (Machine.On_node node) ~lines:1 in
+
+  let measure name ~hw f =
+    let cost = ref 0 in
+    Sthread.spawn sched ~hw (fun () ->
+        let t0 = Sthread.time () in
+        f ();
+        cost := Sthread.time () - t0);
+    Sthread.run sched;
+    Printf.printf "  %-46s %5d cycles\n" name !cost
+  in
+
+  print_endline "single-access costs (hardware thread 0 lives on socket 0):";
+  let local = line_on 0 and remote = line_on 3 in
+  measure "cold read, line homed on local node" ~hw:0 (fun () -> Sthread.read local);
+  measure "re-read (private cache hit)" ~hw:0 (fun () -> Sthread.read local);
+  measure "cold read, line homed on remote node" ~hw:0 (fun () -> Sthread.read remote);
+
+  let shared = line_on 0 in
+  measure "first read by socket-0 thread" ~hw:0 (fun () -> Sthread.read shared);
+  measure "read by another socket-0 core (LLC hit)" ~hw:4 (fun () -> Sthread.read shared);
+  measure "read by a socket-2 core (cross-socket)" ~hw:42 (fun () -> Sthread.read shared);
+  measure "write by socket-0 owner (invalidates both)" ~hw:0 (fun () -> Sthread.write shared);
+  measure "re-read by socket-2 core (must re-fetch)" ~hw:42 (fun () -> Sthread.read shared);
+
+  print_endline "\nping-pong: two threads alternately writing one line";
+  let pp = line_on 0 in
+  let total = ref 0 in
+  let rounds = 1000 in
+  Sthread.spawn sched ~hw:0 (fun () ->
+      let t0 = Sthread.time () in
+      for _ = 1 to rounds do
+        Sthread.write pp
+      done;
+      total := !total + (Sthread.time () - t0));
+  Sthread.spawn sched ~hw:42 (fun () ->
+      for _ = 1 to rounds do
+        Sthread.write pp
+      done);
+  Sthread.run sched;
+  Printf.printf "  socket-0 writer average: %.1f cycles/write (vs ~6 uncontended)\n"
+    (float_of_int !total /. float_of_int rounds);
+
+  print_endline "\ncapacity: stream 2x the private cache, then re-read";
+  let cfg = Machine.config m in
+  let n = 2 * cfg.Machine.priv_lines in
+  let big = Machine.alloc m (Machine.On_node 0) ~lines:n in
+  let misses0 = Dps_simcore.Stats.get (Machine.stats m) "llc_misses" in
+  Sthread.spawn sched ~hw:0 (fun () ->
+      for i = 0 to n - 1 do
+        Sthread.charge_read (big + i)
+      done;
+      Sthread.flush ();
+      for i = 0 to n - 1 do
+        Sthread.charge_read (big + i)
+      done;
+      Sthread.flush ());
+  Sthread.run sched;
+  Printf.printf "  LLC misses for %d accesses over %d lines: %d (first sweep only)\n" (2 * n) n
+    (Dps_simcore.Stats.get (Machine.stats m) "llc_misses" - misses0)

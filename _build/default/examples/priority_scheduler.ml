@@ -1,0 +1,87 @@
+(* A NUMA-partitioned priority scheduler built on DPS range operations.
+
+   Tasks (key = deadline) are inserted into a Shavit-Lotan priority queue
+   partitioned across localities. [find_min]/dispatch uses the §4.4
+   broadcast/range API: peek every partition's head, take the global
+   minimum, then pop from the winning partition — exactly how the paper
+   supports priority queues on DPS.
+
+   Run with: dune exec examples/priority_scheduler.exe *)
+
+module Machine = Dps_machine.Machine
+module Sthread = Dps_sthread.Sthread
+module Prng = Dps_simcore.Prng
+module Pq = Dps_ds.Pq_shavit
+
+let () =
+  let machine = Machine.create Machine.config_default in
+  let sched = Sthread.create machine in
+  let nclients = 40 in
+  let dps =
+    Dps.create sched ~nclients ~locality_size:10
+      ~hash:(fun deadline -> deadline)
+      ~mk_data:(fun (info : Dps.partition_info) -> Pq.create info.Dps.alloc)
+      ()
+  in
+  let nparts = Dps.npartitions dps in
+  Printf.printf "scheduler with %d partitions over %d sockets\n" nparts
+    (Machine.topology machine).Dps_machine.Topology.sockets;
+
+  (* findMin across the whole namespace: broadcast a peek, merge by min. *)
+  let global_min () =
+    Dps.range dps
+      (fun pq -> match Pq.find_min pq with Some (k, _) -> k | None -> max_int)
+      ~merge:min
+  in
+  (* dispatch: find the winning partition, then pop from it (two-phase, not
+     linearizable across partitions — as the paper notes for range ops). *)
+  let dispatch () =
+    let k = global_min () in
+    if k = max_int then None
+    else
+      let popped =
+        Dps.call dps ~key:k (fun pq ->
+            match Pq.remove_min pq with Some (k', _) -> k' | None -> -1)
+      in
+      if popped >= 0 then Some popped else None
+  in
+
+  let submitted = ref 0 and dispatched = ref [] in
+  for client = 0 to nclients - 1 do
+    Sthread.spawn sched ~hw:(Dps.client_hw dps client) (fun () ->
+        Dps.attach dps ~client;
+        let p = Sthread.self_prng () in
+        (* submit 20 tasks with random deadlines, dispatching every 4th *)
+        for i = 0 to 19 do
+          let deadline = 1 + Prng.int p 100_000 in
+          ignore (Dps.call dps ~key:deadline (fun pq ->
+              if Pq.insert pq ~key:deadline ~value:client then 1 else 0));
+          incr submitted;
+          if i mod 4 = 3 then
+            match dispatch () with
+            | Some d -> dispatched := d :: !dispatched
+            | None -> ()
+        done;
+        Dps.client_done dps;
+        Dps.drain dps)
+  done;
+  Sthread.run sched;
+
+  (* drain the rest cold to show what was left *)
+  let remaining = ref 0 in
+  for pid = 0 to nparts - 1 do
+    remaining := !remaining + List.length (Pq.to_list (Dps.partition_data dps pid))
+  done;
+  Printf.printf "submitted %d tasks; dispatched %d; %d still queued\n" !submitted
+    (List.length !dispatched) !remaining;
+  (* dispatch order trends toward ascending deadlines; report inversions *)
+  let order = List.rev !dispatched in
+  let inversions =
+    let rec go acc = function
+      | a :: (b :: _ as rest) -> go (if a > b then acc + 1 else acc) rest
+      | [ _ ] | [] -> acc
+    in
+    go 0 order
+  in
+  Printf.printf "dispatch inversions (concurrency-induced): %d of %d\n" inversions
+    (max 0 (List.length order - 1))

@@ -1,0 +1,358 @@
+module Machine = Dps_machine.Machine
+module Topology = Dps_machine.Topology
+module Sthread = Dps_sthread.Sthread
+module Simops = Dps_sthread.Simops
+module Alloc = Dps_sthread.Alloc
+
+type partition_info = { pid : int; node : int; alloc : Alloc.t }
+
+(* One single-cache-line message, as in §4.2: toggle bit, operation,
+   return value. The toggle is set by the sender and cleared by the
+   partition when the reply (in [ret]) is ready. *)
+type msg = {
+  maddr : int;
+  mutable toggle : bool;
+  mutable op : (unit -> int) option;
+  mutable ret : int;
+}
+
+type completion = Local of int | Remote of msg
+
+(* A ring of messages for one (client, partition) pair, allocated on the
+   partition's NUMA node. The client owns [send_idx], the serving peer owns
+   [recv_idx]; the toggle bit replaces head/tail comparison. [lock] is only
+   used when a dedicated poller runs (S4.4 liveness): the poller and the
+   ring's peer serializes through it, "rarely contended" as the paper
+   notes. *)
+type ring = {
+  slots : msg array;
+  mutable send_idx : int;
+  mutable recv_idx : int;
+  rlock : Dps_sync.Spinlock.t option;
+}
+
+type 'a partition = { info : partition_info; data : 'a; rings : ring array (* per client *) }
+
+type client = {
+  tid : int;
+  hw : int;
+  my_pid : int;
+  served : (int * int) array;  (* (partition never <> my_pid, ring index) — my serving share *)
+  mutable cursor : int;  (* round-robin scan position, for serving fairness *)
+}
+
+type 'a t = {
+  sched : Sthread.t;
+  partitions : 'a partition array;
+  nclients : int;
+  locality_size : int;
+  hash : int -> int;
+  check_budget : int;
+  marshal_cost : int;
+  dispatch_cost : int;
+  placement : int array;
+  clients : (int, client) Hashtbl.t;  (* simulated thread id -> client *)
+  (* the flat namespace of the paper's create(): hash(key) mod ns_sz
+     selects a bucket, whose entry names the owning partition. One charged
+     line per 8 entries; rebalancing rewrites entries. *)
+  ns_table : int array;
+  ns_base : int;
+  mutable remaining : int;
+  mutable n_delegated : int;
+  mutable n_local : int;
+}
+
+let npartitions t = Array.length t.partitions
+
+let bucket_of_key t key = abs (t.hash key) mod Array.length t.ns_table
+
+let partition_of_key t key =
+  let b = bucket_of_key t key in
+  Simops.charge_read (t.ns_base + (b / 8));
+  t.ns_table.(b)
+let partition_data t pid = t.partitions.(pid).data
+let client_hw t i = t.placement.(i)
+let delegated_ops t = t.n_delegated
+let local_ops t = t.n_local
+
+let create sched ~nclients ~locality_size ~hash ?ns_sz ?(ring_slots = 16) ?(check_budget = 4)
+    ?(marshal_cost = 100) ?(dispatch_cost = 250) ?(dedicated_pollers = false) ~mk_data () =
+  assert (nclients > 0 && locality_size > 0);
+  let m = Sthread.machine sched in
+  let topo = Machine.topology m in
+  let placement = Topology.placement topo ~n:nclients in
+  let nparts = (nclients + locality_size - 1) / locality_size in
+  let ns_sz = match ns_sz with Some n -> max n nparts | None -> 64 * nparts in
+  let mk_partition pid =
+    let node = Topology.socket_of_thread topo placement.(pid * locality_size) in
+    let info = { pid; node; alloc = Alloc.create m ~cold:(Alloc.Node node) } in
+    let mk_ring _client =
+      let mk_slot _ =
+        { maddr = Machine.alloc m (Machine.On_node node) ~lines:1; toggle = false; op = None; ret = 0 }
+      in
+      let rlock =
+        if dedicated_pollers then
+          Some (Dps_sync.Spinlock.embed ~addr:(Machine.alloc m (Machine.On_node node) ~lines:1))
+        else None
+      in
+      { slots = Array.init ring_slots mk_slot; send_idx = 0; recv_idx = 0; rlock }
+    in
+    { info; data = mk_data info; rings = Array.init nclients mk_ring }
+  in
+  {
+    sched;
+    partitions = Array.init nparts mk_partition;
+    nclients;
+    locality_size;
+    hash;
+    check_budget;
+    marshal_cost;
+    dispatch_cost;
+    placement;
+    clients = Hashtbl.create (2 * nclients);
+    ns_table = Array.init ns_sz (fun b -> b mod nparts);
+    ns_base = Machine.alloc m Machine.Interleave ~lines:((ns_sz + 7) / 8);
+    remaining = nclients;
+    n_delegated = 0;
+    n_local = 0;
+  }
+
+let attach t ~client =
+  assert (client >= 0 && client < t.nclients);
+  let my_pid = client / t.locality_size in
+  let my_index = client mod t.locality_size in
+  (* §4.3: the flat array of a partition's rings is divided across the
+     cores of that locality, so peers serve disjoint rings without
+     synchronization. *)
+  let served =
+    Array.of_list
+      (List.filter_map
+         (fun c -> if c mod t.locality_size = my_index then Some (my_pid, c) else None)
+         (List.init t.nclients Fun.id))
+  in
+  Hashtbl.replace t.clients (Sthread.self_id ())
+    { tid = client; hw = Sthread.self_hw (); my_pid; served; cursor = 0 }
+
+let me t =
+  match Hashtbl.find_opt t.clients (Sthread.self_id ()) with
+  | Some c -> c
+  | None -> failwith "Dps: thread not attached"
+
+let cursor_advance cl scanned n = if n > 0 then cl.cursor <- (cl.cursor + max 1 scanned) mod n
+
+(* Drain up to [budget] pending requests from one ring. When dedicated
+   pollers are active, the ring lock serializes us with them; on contention
+   we simply skip the ring. *)
+let serve_ring t ring ~budget =
+  let proceed =
+    match ring.rlock with None -> true | Some l -> Dps_sync.Spinlock.try_acquire l
+  in
+  if not proceed then 0
+  else begin
+    let served = ref 0 in
+    let continue_ring = ref true in
+    while !continue_ring && !served < budget do
+      let slot = ring.slots.(ring.recv_idx mod Array.length ring.slots) in
+      Simops.read slot.maddr;
+      match slot.op with
+      | Some op when slot.toggle ->
+          (* request unmarshalling and dispatch *)
+          Simops.work t.dispatch_cost;
+          let v = op () in
+          slot.op <- None;
+          slot.ret <- v;
+          slot.toggle <- false;
+          Simops.write slot.maddr;
+          ring.recv_idx <- ring.recv_idx + 1;
+          incr served
+      | Some _ | None -> continue_ring := false
+    done;
+    (match ring.rlock with None -> () | Some l -> Dps_sync.Spinlock.release l);
+    !served
+  end
+
+(* Serve at most [budget] pending requests from this client's share of its
+   partition's rings, scanning round-robin from a persistent cursor so no
+   ring starves under load; returns the number served. *)
+let serve_as t cl ~max:budget =
+  let p = t.partitions.(cl.my_pid) in
+  let served = ref 0 in
+  let i = ref 0 in
+  let n = Array.length cl.served in
+  while !served < budget && !i < n do
+    let _, ring_idx = cl.served.((cl.cursor + !i) mod n) in
+    served := !served + serve_ring t p.rings.(ring_idx) ~budget:(budget - !served);
+    incr i
+  done;
+  cursor_advance cl !i n;
+  !served
+
+let serve t ~max = serve_as t (me t) ~max
+
+let run_local t pid op =
+  t.n_local <- t.n_local + 1;
+  (* the runtime still interposes on local operations (§5.2 notes the
+     overhead this causes for small update ratios) *)
+  Simops.work (t.dispatch_cost / 4);
+  op t.partitions.(pid).data
+
+(* Claim a free slot in this client's ring to [pid], serving own duties
+   while the ring is full. *)
+let claim_slot t cl pid =
+  let ring = t.partitions.(pid).rings.(cl.tid) in
+  let rec try_claim () =
+    let slot = ring.slots.(ring.send_idx mod Array.length ring.slots) in
+    Simops.read slot.maddr;
+    if slot.toggle then begin
+      (* ring full: overlap with serving (§4.3) *)
+      if serve_as t cl ~max:t.check_budget = 0 then Simops.work 64;
+      try_claim ()
+    end
+    else begin
+      ring.send_idx <- ring.send_idx + 1;
+      slot
+    end
+  in
+  try_claim ()
+
+let send t cl pid op =
+  let slot = claim_slot t cl pid in
+  let p = t.partitions.(pid) in
+  (* argument marshalling into the message line *)
+  Simops.work t.marshal_cost;
+  slot.op <- Some (fun () -> op p.data);
+  slot.toggle <- true;
+  Simops.write slot.maddr;
+  t.n_delegated <- t.n_delegated + 1;
+  slot
+
+let execute t ~key op =
+  let cl = me t in
+  let pid = partition_of_key t key in
+  if pid = cl.my_pid then Local (run_local t pid op) else Remote (send t cl pid op)
+
+let try_await t completion =
+  match completion with
+  | Local v -> Some v
+  | Remote slot ->
+      Simops.read slot.maddr;
+      if not slot.toggle then Some slot.ret
+      else begin
+        ignore (serve t ~max:t.check_budget);
+        None
+      end
+
+let await t completion =
+  match completion with
+  | Local v -> v
+  | Remote _ ->
+      (* escalate the pause while the locality has nothing to serve, so a
+         long-running remote operation does not turn into a polling storm *)
+      let pause = ref 32 in
+      let rec spin () =
+        match completion with
+        | Local v -> v
+        | Remote slot -> (
+            Simops.read slot.maddr;
+            if not slot.toggle then slot.ret
+            else begin
+              if serve t ~max:t.check_budget > 0 then pause := 32
+              else begin
+                Simops.work !pause;
+                pause := min 4096 (2 * !pause)
+              end;
+              spin ()
+            end)
+      in
+      spin ()
+
+let call t ~key op = await t (execute t ~key op)
+
+let execute_async t ~key op =
+  let cl = me t in
+  let pid = partition_of_key t key in
+  if pid = cl.my_pid then ignore (run_local t pid op) else ignore (send t cl pid op)
+
+let execute_local t ~key op =
+  let pid = partition_of_key t key in
+  t.n_local <- t.n_local + 1;
+  op t.partitions.(pid).data
+
+let range t op ~merge =
+  let cl = me t in
+  let pending =
+    Array.to_list
+      (Array.mapi
+         (fun pid _ ->
+           if pid = cl.my_pid then Local (run_local t pid op) else Remote (send t cl pid op))
+         t.partitions)
+  in
+  match List.map (await t) pending with
+  | [] -> invalid_arg "Dps.range: no partitions"
+  | v :: rest -> List.fold_left merge v rest
+
+let my_partition t = (me t).my_pid
+
+let execute_on t ~pid op =
+  assert (pid >= 0 && pid < npartitions t);
+  let cl = me t in
+  if pid = cl.my_pid then Local (run_local t pid op) else Remote (send t cl pid op)
+
+let call_on t ~pid op = await t (execute_on t ~pid op)
+
+let execute_async_on t ~pid op =
+  let cl = me t in
+  if pid = cl.my_pid then ignore (run_local t pid op) else ignore (send t cl pid op)
+
+(* S4.4 liveness: a dedicated polling thread for one locality. It checks
+   every ring of the partition (not just one peer's share), so delegations
+   make progress even when all the locality's clients are busy outside
+   DPS. Requires [~dedicated_pollers:true] at creation. *)
+let run_poller t ~pid =
+  let p = t.partitions.(pid) in
+  (match p.rings.(0).rlock with
+  | Some _ -> ()
+  | None -> failwith "Dps: create with ~dedicated_pollers:true to run pollers");
+  while t.remaining > 0 do
+    let served = ref 0 in
+    Array.iter (fun ring -> served := !served + serve_ring t ring ~budget:max_int) p.rings;
+    if !served = 0 then Simops.work 128
+  done
+
+(* Dynamic repartitioning (the paper assumes static partitioning and notes
+   the dynamic variant is possible; S3.3). Moving a bucket is two phases:
+   extract the bucket's items from the old owner, then retarget the bucket
+   and insert the items at the new owner. Operations racing the window see
+   the bucket's keys as absent — the same relaxed, non-linearizable
+   contract as range operations. *)
+let rebalance t ~bucket ~to_ ~extract ~insert =
+  assert (bucket >= 0 && bucket < Array.length t.ns_table);
+  assert (to_ >= 0 && to_ < npartitions t);
+  let from = t.ns_table.(bucket) in
+  if from <> to_ then begin
+    let moved = ref [] in
+    ignore
+      (call_on t ~pid:from (fun data ->
+           moved := extract data bucket;
+           List.length !moved));
+    t.ns_table.(bucket) <- to_;
+    Simops.write (t.ns_base + (bucket / 8));
+    List.iter
+      (fun (key, value) -> ignore (call_on t ~pid:to_ (fun data -> insert data ~key ~value; 0)))
+      !moved
+  end
+
+let bucket_owner t ~bucket = t.ns_table.(bucket)
+
+let client_done t = t.remaining <- t.remaining - 1
+
+let drain t =
+  let cl = me t in
+  while t.remaining > 0 do
+    if serve_as t cl ~max:t.check_budget = 0 then Simops.work 128
+  done;
+  (* No client will issue again; flush leftover (e.g. asynchronous)
+     requests still sitting in this peer's share of the rings. *)
+  while serve_as t cl ~max:max_int > 0 do
+    ()
+  done

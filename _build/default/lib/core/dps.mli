@@ -1,0 +1,155 @@
+(** Distributed, Delegated Parallel Sections (DPS) — the paper's runtime.
+
+    DPS partitions a data structure's key namespace across localities
+    (groups of hardware threads sharing a socket), binds one partition of
+    the structure to each locality's NUMA memory, and moves *computation*
+    to the partition that owns the key: local keys run as plain function
+    calls, remote keys are delegated over per-(client, partition) message
+    rings of single cache-line messages. Every client is also a peer
+    server — while it waits for its own completions (or has nothing else to
+    do) it executes operations that other localities delegated to it, so no
+    core is ever dedicated to serving (§3–§4 of the paper).
+
+    ['a] is the per-partition slice of the user's data structure; DPS never
+    synchronizes access to it — within a locality the user supplies a
+    concurrent implementation, exactly as in the paper. *)
+
+type 'a t
+
+type partition_info = {
+  pid : int;  (** partition index *)
+  node : int;  (** NUMA node the partition is bound to *)
+  alloc : Dps_sthread.Alloc.t;  (** allocator homing cold data on [node] *)
+}
+
+val create :
+  Dps_sthread.Sthread.t ->
+  nclients:int ->
+  locality_size:int ->
+  hash:(int -> int) ->
+  ?ns_sz:int ->
+  ?ring_slots:int ->
+  ?check_budget:int ->
+  ?marshal_cost:int ->
+  ?dispatch_cost:int ->
+  ?dedicated_pollers:bool ->
+  mk_data:(partition_info -> 'a) ->
+  unit ->
+  'a t
+(** [create sched ~nclients ~locality_size ~hash ~mk_data ()] builds a DPS
+    instance for [nclients] client threads placed by the paper's rule and
+    grouped into localities of [locality_size] hardware threads. One
+    partition is created per locality via [mk_data]; [hash] maps keys into
+    the flat namespace of [ns_sz] buckets (default 64 per partition), each
+    bucket owned by a partition — the paper's [create(ds_init_fn, ds_args,
+    partition_cnt, ns_sz, hash_fn)].
+    [ring_slots] sizes each message ring (default 16); [check_budget] is
+    the §4.3 knob: how many delegated requests a thread serves per check of
+    its own pending completion (default 4). [marshal_cost] (default 100)
+    and [dispatch_cost] (default 250) are the runtime's per-delegation
+    sender-side marshalling and server-side dispatch work in cycles —
+    calibration constants documented in EXPERIMENTS.md (local calls pay a
+    quarter of [dispatch_cost], matching the §5.2 remark about
+    interposition overhead on local operations). [dedicated_pollers]
+    (default false) adds the per-ring locks required to run {!run_poller}
+    threads (§4.4 liveness). *)
+
+val npartitions : 'a t -> int
+
+val partition_of_key : 'a t -> int -> int
+(** Charged namespace lookup: hash, bucket, owning partition. *)
+
+val bucket_of_key : 'a t -> int -> int
+val bucket_owner : 'a t -> bucket:int -> int
+
+val rebalance :
+  'a t ->
+  bucket:int ->
+  to_:int ->
+  extract:('a -> int -> (int * int) list) ->
+  insert:('a -> key:int -> value:int -> unit) ->
+  unit
+(** Dynamic repartitioning (§3.3 notes the paper's prototype is static):
+    move one namespace bucket to partition [to_]. [extract] must remove and
+    return the bucket's (key, value) pairs from the old owner's structure;
+    [insert] adds one pair to the new owner's. Must be called from an
+    attached client. Relaxed: operations racing the move may briefly see
+    the bucket's keys as absent (same contract as range operations). *)
+
+val partition_data : 'a t -> int -> 'a
+
+val client_hw : 'a t -> int -> int
+(** Hardware thread that client [i] must be spawned on. *)
+
+val attach : 'a t -> client:int -> unit
+(** Bind the calling simulated thread to client slot [client] (in
+    [0, nclients)). Must be called once, before any operation. *)
+
+(** {1 Operations (from attached client threads)} *)
+
+type completion
+
+val execute : 'a t -> key:int -> ('a -> int) -> completion
+(** Route an operation to [key]'s partition: run it immediately if the
+    partition is local, otherwise delegate it. While waiting for a free
+    ring slot the client serves requests delegated to its own partition. *)
+
+val try_await : 'a t -> completion -> int option
+(** Non-blocking check of a completion record (the paper's
+    [await_completion]); serves one batch of delegated requests when the
+    result is not yet available. *)
+
+val await : 'a t -> completion -> int
+(** Spin on {!try_await} until the result arrives. *)
+
+val call : 'a t -> key:int -> ('a -> int) -> int
+(** Synchronous convenience: [execute] then [await]. *)
+
+val execute_async : 'a t -> key:int -> ('a -> int) -> unit
+(** §4.4 asynchronous execution: deliver and return immediately. Replies
+    are discarded. Ordering with later dependent operations must be
+    enforced by the caller (issue a synchronous barrier operation). *)
+
+val execute_local : 'a t -> key:int -> ('a -> int) -> int
+(** §4.4 local execution: run the operation on the calling core even if the
+    partition is remote (remote memory traffic is paid instead of
+    delegation). Only safe for operations the underlying structure already
+    synchronizes — typically reads. *)
+
+val range : 'a t -> ('a -> int) -> merge:(int -> int -> int) -> int
+(** §4.4 range/broadcast operation: run the closure on every partition
+    (local call or delegation) and fold the results with [merge]. Not
+    linearizable, as in the paper. *)
+
+val serve : 'a t -> max:int -> int
+(** Serve up to [max] requests pending on the caller's partition rings;
+    returns the number served. Exposed for §4.4 liveness (dedicated
+    pollers) and for idle loops. *)
+
+val my_partition : 'a t -> int
+(** The calling client's own partition. *)
+
+val execute_on : 'a t -> pid:int -> ('a -> int) -> completion
+(** Like {!execute}, but targeting a partition directly (used by broadcast
+    patterns that pick a partition from peeked state, e.g. §3.4 stacks and
+    queues). *)
+
+val call_on : 'a t -> pid:int -> ('a -> int) -> int
+val execute_async_on : 'a t -> pid:int -> ('a -> int) -> unit
+
+val run_poller : 'a t -> pid:int -> unit
+(** §4.4 liveness: body for a dedicated polling thread devoted to locality
+    [pid]. Serves every ring of the partition (serializing with peers
+    through the per-ring locks) until all clients are done. The instance
+    must have been created with [~dedicated_pollers:true]. *)
+
+val client_done : 'a t -> unit
+(** Signal that this client has finished issuing operations. *)
+
+val drain : 'a t -> unit
+(** Keep serving delegated requests until every client is done — call after
+    {!client_done} so in-flight delegations to this locality still make
+    progress. *)
+
+val delegated_ops : 'a t -> int
+val local_ops : 'a t -> int

@@ -1,0 +1,1 @@
+lib/ds/bst_bronson.ml: Array Dps_sthread Dps_sync List

@@ -1,0 +1,1 @@
+lib/ds/bst_bronson.mli: Dps_sthread

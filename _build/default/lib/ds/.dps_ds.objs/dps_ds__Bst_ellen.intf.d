@@ -1,0 +1,1 @@
+lib/ds/bst_ellen.mli: Dps_sthread

@@ -1,0 +1,1 @@
+lib/ds/bst_internal_lf.mli: Dps_sthread

@@ -1,0 +1,1 @@
+lib/ds/bst_tk.ml: Dps_sthread Dps_sync

@@ -1,0 +1,1 @@
+lib/ds/bst_tk.mli: Dps_sthread

@@ -1,0 +1,1 @@
+lib/ds/btree_blink.ml: Array Dps_sthread Dps_sync List

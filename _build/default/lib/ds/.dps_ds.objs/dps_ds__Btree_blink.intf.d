@@ -1,0 +1,1 @@
+lib/ds/btree_blink.mli: Dps_sthread

@@ -1,0 +1,1 @@
+lib/ds/hashtable.ml: Array Dps_sthread Dps_sync List

@@ -1,0 +1,1 @@
+lib/ds/hashtable.mli: Dps_sthread

@@ -1,0 +1,1 @@
+lib/ds/ll_coarse.ml: Dps_sthread Dps_sync List

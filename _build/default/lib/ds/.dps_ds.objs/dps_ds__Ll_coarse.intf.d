@@ -1,0 +1,1 @@
+lib/ds/ll_coarse.mli: Dps_sthread

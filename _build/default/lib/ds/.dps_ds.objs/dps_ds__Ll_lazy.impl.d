@@ -1,0 +1,1 @@
+lib/ds/ll_lazy.ml: Dps_sthread Dps_sync List Option

@@ -1,0 +1,1 @@
+lib/ds/ll_lazy.mli: Dps_sthread

@@ -1,0 +1,1 @@
+lib/ds/ll_michael.ml: Dps_sthread List Option

@@ -1,0 +1,1 @@
+lib/ds/ll_michael.mli: Dps_sthread

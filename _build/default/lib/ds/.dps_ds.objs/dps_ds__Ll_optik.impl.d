@@ -1,0 +1,1 @@
+lib/ds/ll_optik.ml: Dps_sthread Dps_sync List Option

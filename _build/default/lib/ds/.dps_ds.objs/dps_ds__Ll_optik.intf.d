@@ -1,0 +1,1 @@
+lib/ds/ll_optik.mli: Dps_sthread

@@ -1,0 +1,1 @@
+lib/ds/pq_shavit.ml: Sl_fraser

@@ -1,0 +1,1 @@
+lib/ds/pq_shavit.mli: Dps_sthread

@@ -1,0 +1,1 @@
+lib/ds/queue_ms.ml: Dps_sthread List

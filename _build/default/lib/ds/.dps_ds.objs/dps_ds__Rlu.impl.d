@@ -1,0 +1,1 @@
+lib/ds/rlu.ml: Dps_sthread Dps_sync Hashtbl List

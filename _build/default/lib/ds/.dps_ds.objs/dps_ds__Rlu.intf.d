@@ -1,0 +1,1 @@
+lib/ds/rlu.mli: Dps_sthread

@@ -1,0 +1,1 @@
+lib/ds/rlu_list.ml: Dps_sthread Dps_sync List Option Rlu

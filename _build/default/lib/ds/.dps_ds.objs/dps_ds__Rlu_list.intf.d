@@ -1,0 +1,1 @@
+lib/ds/rlu_list.mli: Dps_sthread

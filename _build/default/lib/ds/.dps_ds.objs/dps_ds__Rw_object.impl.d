@@ -1,0 +1,1 @@
+lib/ds/rw_object.ml: Array Dps_machine Dps_simcore Dps_sthread

@@ -1,0 +1,1 @@
+lib/ds/rw_object.mli: Dps_machine

@@ -1,0 +1,1 @@
+lib/ds/sl_fraser.ml: Array Dps_simcore Dps_sthread Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/ds/sl_fraser.mli: Dps_sthread

@@ -1,0 +1,1 @@
+lib/ds/sl_herlihy.ml: Array Dps_simcore Dps_sthread Dps_sync List Option Printf

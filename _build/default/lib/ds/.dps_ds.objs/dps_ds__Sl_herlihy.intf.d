@@ -1,0 +1,1 @@
+lib/ds/sl_herlihy.mli: Dps_sthread

@@ -1,0 +1,1 @@
+lib/ds/stack_treiber.ml: Dps_sthread List

@@ -1,0 +1,1 @@
+lib/ds/stack_treiber.mli: Dps_sthread

@@ -1,0 +1,16 @@
+(** Lehman-Yao B-link tree — the classic concurrent B+-tree (§3.3's
+    range-optimised example). Lock-free descent with split recovery via
+    right-sibling links; one spinlock per node for writers.
+
+    Implements {!Set_intf.SET}. *)
+
+type t
+
+val name : string
+val create : Dps_sthread.Alloc.t -> t
+val insert : t -> key:int -> value:int -> bool
+val remove : t -> int -> bool
+val lookup : t -> int -> int option
+val to_list : t -> (int * int) list
+val check_invariants : t -> unit
+val maintenance : t -> unit

@@ -1,0 +1,143 @@
+(** Chained hash table with a spinlock per bucket — memcached's structure,
+    and a natural fit for DPS partitions. The bucket array is one cache
+    line per bucket; the lock shares the bucket's line, exactly as
+    fine-grained-locked tables lay it out. *)
+
+module Simops = Dps_sthread.Simops
+module Alloc = Dps_sthread.Alloc
+module Spinlock = Dps_sync.Spinlock
+
+type node = { key : int; mutable value : int; addr : int; mutable next : node option }
+
+type bucket = { baddr : int; lock : Spinlock.t; mutable chain : node option }
+
+type t = { alloc : Alloc.t; buckets : bucket array; mask : int }
+
+let name = "hashtable"
+
+let rec pow2 n = if n <= 1 then 1 else 2 * pow2 ((n + 1) / 2)
+
+let create_sized alloc ~buckets:n =
+  let n = pow2 n in
+  let base = Alloc.lines alloc n in
+  let mk i =
+    let baddr = base + i in
+    { baddr; lock = Spinlock.embed ~addr:baddr; chain = None }
+  in
+  { alloc; buckets = Array.init n mk; mask = n - 1 }
+
+let create alloc = create_sized alloc ~buckets:1024
+
+(* Fibonacci hashing spreads adjacent keys across buckets. *)
+let bucket_of t key = (key * 0x9E3779B1) lsr 7 land t.mask
+
+let insert t ~key ~value =
+  let b = t.buckets.(bucket_of t key) in
+  Spinlock.acquire b.lock;
+  let rec walk = function
+    | None -> None
+    | Some n ->
+        Simops.charge_read n.addr;
+        if n.key = key then Some n else walk n.next
+  in
+  let found = walk b.chain in
+  Simops.flush ();
+  let result =
+    match found with
+    | Some _ -> false
+    | None ->
+        let n = { key; value; addr = Alloc.line t.alloc; next = b.chain } in
+        Simops.write n.addr;
+        b.chain <- Some n;
+        Simops.write b.baddr;
+        true
+  in
+  Spinlock.release b.lock;
+  result
+
+let remove t key =
+  let b = t.buckets.(bucket_of t key) in
+  Spinlock.acquire b.lock;
+  let rec unlink prev = function
+    | None -> false
+    | Some n ->
+        Simops.charge_read n.addr;
+        if n.key = key then begin
+          Simops.flush ();
+          (match prev with
+          | None ->
+              b.chain <- n.next;
+              Simops.write b.baddr
+          | Some p ->
+              p.next <- n.next;
+              Simops.write p.addr);
+          true
+        end
+        else unlink (Some n) n.next
+  in
+  let result = unlink None b.chain in
+  Simops.flush ();
+  Spinlock.release b.lock;
+  result
+
+let lookup t key =
+  let b = t.buckets.(bucket_of t key) in
+  Simops.charge_read b.baddr;
+  let rec walk = function
+    | None -> None
+    | Some n ->
+        Simops.charge_read n.addr;
+        if n.key = key then Some n.value else walk n.next
+  in
+  let r = walk b.chain in
+  Simops.flush ();
+  r
+
+let update t ~key ~value =
+  let b = t.buckets.(bucket_of t key) in
+  Spinlock.acquire b.lock;
+  let rec walk = function
+    | None -> false
+    | Some n ->
+        Simops.charge_read n.addr;
+        if n.key = key then begin
+          n.value <- value;
+          Simops.flush ();
+          Simops.write n.addr;
+          true
+        end
+        else walk n.next
+  in
+  let r = walk b.chain in
+  Simops.flush ();
+  Spinlock.release b.lock;
+  r
+
+let to_list t =
+  let out = ref [] in
+  Array.iter
+    (fun b ->
+      let rec go = function
+        | None -> ()
+        | Some n ->
+            out := (n.key, n.value) :: !out;
+            go n.next
+      in
+      go b.chain)
+    t.buckets;
+  List.sort compare !out
+
+let check_invariants t =
+  Array.iteri
+    (fun i b ->
+      let rec go = function
+        | None -> ()
+        | Some n ->
+            if bucket_of t n.key <> i then failwith "hashtable: key in wrong bucket";
+            go n.next
+      in
+      go b.chain)
+    t.buckets
+
+(* Offline maintenance hook (SET signature); nothing to do here. *)
+let maintenance _ = ()

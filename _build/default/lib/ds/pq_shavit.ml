@@ -1,0 +1,22 @@
+(** Skiplist-based concurrent priority queue (Shavit & Lotan, IPDPS'00) —
+    the paper's [lf-s]. Built directly on the lock-free skip list:
+    [remove_min] scans the bottom level for the first unmarked node and
+    logically deletes it with one CAS; physical removal reuses the
+    skiplist's search cleanup. *)
+
+module Sl = Sl_fraser
+
+type t = Sl.t
+
+let name = "lf-s"
+let create = Sl.create
+
+let insert t ~key ~value = Sl.insert t ~key ~value
+let remove t key = Sl.remove t key
+let lookup t key = Sl.lookup t key
+
+let find_min = Sl.peek_min
+let remove_min = Sl.remove_min
+
+let to_list = Sl.to_list
+let check_invariants = Sl.check_invariants

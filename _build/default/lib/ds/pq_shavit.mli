@@ -1,0 +1,17 @@
+(** Skiplist-based concurrent priority queue (Shavit & Lotan, IPDPS'00) —
+    the paper's [lf-s]. [remove_min] logically deletes the first unmarked
+    bottom-level node with one CAS. *)
+
+type t
+
+val name : string
+val create : Dps_sthread.Alloc.t -> t
+val insert : t -> key:int -> value:int -> bool
+val remove : t -> int -> bool
+val lookup : t -> int -> int option
+
+val find_min : t -> (int * int) option
+val remove_min : t -> (int * int) option
+
+val to_list : t -> (int * int) list
+val check_invariants : t -> unit

@@ -1,0 +1,14 @@
+(** Michael & Scott's lock-free FIFO queue; see {!Dps_adapters.Queue} for
+    the §3.4 broadcast adaptation. Values carry enqueue timestamps so the
+    DPS adapter can pick the oldest front across partitions. *)
+
+type t
+
+val create : Dps_sthread.Alloc.t -> t
+val enqueue : t -> int -> unit
+val dequeue : t -> int option
+val peek : t -> int option
+val peek_stamp : t -> int option
+val size : t -> int
+val to_list : t -> int list
+val check_invariants : t -> unit

@@ -1,0 +1,22 @@
+(** Read-Log-Update runtime (Matveev et al., SOSP'15), simplified to the
+    level documented in DESIGN.md: store-free read sections; writers bump a
+    global clock and block until readers under the old clock finish. *)
+
+type t
+
+val create : Dps_sthread.Alloc.t -> t
+
+val reader_lock : t -> unit
+(** Begin a read section (one global-clock read + a write to the caller's
+    own slot line). *)
+
+val reader_unlock : t -> unit
+
+val synchronize : t -> unit
+(** Writer-side grace period: advance the clock, wait for old readers. The
+    caller must not be inside a read section (see
+    {!writer_end_and_synchronize}). *)
+
+val writer_end_and_synchronize : t -> unit
+(** End the calling writer's read section, then {!synchronize} — the safe
+    commit path (two writers never wait on each other's sections). *)

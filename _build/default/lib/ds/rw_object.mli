@@ -1,0 +1,38 @@
+(** The microbenchmark object of §5.1: an array of objects, each spanning a
+    configurable number of cache lines; an operation reads and writes a
+    subset of an object's lines. The knobs behind Figures 7/8 and Table 2. *)
+
+type t
+
+val create :
+  Dps_machine.Machine.t ->
+  Dps_machine.Machine.policy ->
+  objects:int ->
+  lines:int ->
+  write_lines:int ->
+  t
+
+val create_partitioned :
+  Dps_machine.Machine.t ->
+  node_of:(int -> int) ->
+  objects:int ->
+  lines:int ->
+  write_lines:int ->
+  t
+(** Each object homed on the NUMA node chosen by [node_of] (ffwd shards,
+    DPS partitions). *)
+
+val nobjects : t -> int
+val home_hint : t -> int -> (int -> 'a) -> 'a
+(** Apply a function to object [i]'s base address (tests). *)
+
+val operate : t -> int -> unit
+(** Read-modify-write: writes [write_lines] lines, reads the rest. *)
+
+val operate_window : t -> int -> window:int -> unit
+(** Touch a random [window]-line slice of one object (writes the first
+    [write_lines] of the slice) — Table 2's pattern of small operations on
+    a huge resident working set. *)
+
+val scan : t -> int -> unit
+(** Read-only sweep of one object. *)

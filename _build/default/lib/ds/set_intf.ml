@@ -1,0 +1,31 @@
+(** The common shape of the key/value set structures evaluated in the paper
+    (§5.2): linked lists, binary search trees and skip lists all represent a
+    set of nodes with unique integer keys and three operations. *)
+
+module type SET = sig
+  type t
+
+  val name : string
+  (** Short tag matching the paper's legends (e.g. ["lf-m"]). *)
+
+  val create : Dps_sthread.Alloc.t -> t
+
+  val insert : t -> key:int -> value:int -> bool
+  (** [true] if the key was absent and has been added. *)
+
+  val remove : t -> int -> bool
+  (** [true] if the key was present and has been removed. *)
+
+  val lookup : t -> int -> int option
+
+  val to_list : t -> (int * int) list
+  (** Sorted contents; for cold verification only. *)
+
+  val check_invariants : t -> unit
+  (** Raise [Failure] on a broken structural invariant; cold use only. *)
+
+  val maintenance : t -> unit
+  (** Offline maintenance after cold population (cold use only). A no-op
+      for most structures; the Bronson-style tree rebalances here, standing
+      in for the rebalancing its real counterpart performs continuously. *)
+end

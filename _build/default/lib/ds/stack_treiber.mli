@@ -1,0 +1,14 @@
+(** Treiber's lock-free stack; see DESIGN.md and {!Dps_adapters.Stack} for
+    the §3.4 broadcast adaptation. Values carry push timestamps so the DPS
+    adapter can pick the youngest top across partitions. *)
+
+type t
+
+val create : Dps_sthread.Alloc.t -> t
+val push : t -> int -> unit
+val pop : t -> int option
+val peek : t -> int option
+val peek_stamp : t -> int option
+val size : t -> int
+val to_list : t -> int list
+val check_invariants : t -> unit

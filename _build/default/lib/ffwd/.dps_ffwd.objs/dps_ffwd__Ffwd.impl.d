@@ -1,0 +1,1 @@
+lib/ffwd/ffwd.ml: Array Dps_machine Dps_sthread Dps_sync Hashtbl

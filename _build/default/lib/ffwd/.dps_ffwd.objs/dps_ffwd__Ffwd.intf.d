@@ -1,0 +1,1 @@
+lib/ffwd/ffwd.mli: Dps_sthread

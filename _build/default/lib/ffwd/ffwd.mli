@@ -1,0 +1,42 @@
+(** ffwd-style delegation (Roghanchi, Eriksson & Basu, SOSP'17) — the
+    baseline the paper compares DPS against.
+
+    Dedicated server threads own the data and execute every operation on
+    behalf of clients. Each (client, server) pair has a private request
+    cache line; responses are written in groups of up to 15 clients per
+    response line, so a server pays one coherence transaction per batch of
+    replies — ffwd's signature optimisation.
+
+    A server's work is serialized: that is both ffwd's strength (no
+    synchronization, perfect locality) and the weakness Figure 3 shows
+    (throughput collapses as operation length grows). *)
+
+type t
+
+val create :
+  Dps_sthread.Sthread.t ->
+  server_hw:int array ->
+  clients:int ->
+  t
+(** [create sched ~server_hw ~clients] spawns one server thread per element
+    of [server_hw] (each pinned to that hardware thread) and sizes the
+    request/response slots for [clients] client threads. Servers run until
+    every client has called {!client_done}. *)
+
+val nservers : t -> int
+
+val attach : t -> client:int -> unit
+(** Bind the calling simulated thread to client slot [client] (in
+    [0, clients)). Must be called once before {!call}. *)
+
+val call : t -> server:int -> (unit -> int) -> int
+(** Delegate a closure to server [server] and spin until its reply arrives.
+    Must be called from a simulated client thread. The closure runs on the
+    server's hardware thread, so its memory accesses are charged there. *)
+
+val client_done : t -> unit
+(** Each client must call this exactly once when it finishes; servers shut
+    down when all clients are done. *)
+
+val server_batches : t -> int
+(** Number of batched response-line writes performed (for tests). *)

@@ -1,0 +1,1 @@
+lib/machine/cachebox.ml: Array Dps_simcore Hashtbl

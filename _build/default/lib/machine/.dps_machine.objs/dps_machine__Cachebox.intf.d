@@ -1,0 +1,1 @@
+lib/machine/cachebox.mli: Dps_simcore

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Cachebox Costs Dps_simcore Hashtbl Printf Topology

@@ -1,0 +1,64 @@
+module Prng = Dps_simcore.Prng
+
+(* The slot array and index grow on demand: an LLC box is sized for hundreds
+   of thousands of lines, but most simulations touch far fewer, and machines
+   are created freely in tests. *)
+type t = {
+  mutable slots : int array;
+  index : (int, int) Hashtbl.t;  (* addr -> slot *)
+  capacity : int;
+  mutable size : int;
+  prng : Prng.t;
+}
+
+let create ~capacity prng =
+  assert (capacity > 0);
+  let initial = min capacity 256 in
+  { slots = Array.make initial (-1); index = Hashtbl.create (2 * initial); capacity; size = 0; prng }
+
+let capacity t = t.capacity
+let size t = t.size
+let mem t addr = Hashtbl.mem t.index addr
+
+let remove_slot t slot =
+  let addr = t.slots.(slot) in
+  Hashtbl.remove t.index addr;
+  let last = t.size - 1 in
+  if slot <> last then begin
+    let moved = t.slots.(last) in
+    t.slots.(slot) <- moved;
+    Hashtbl.replace t.index moved slot
+  end;
+  t.slots.(last) <- -1;
+  t.size <- last
+
+let remove t addr =
+  match Hashtbl.find_opt t.index addr with
+  | None -> ()
+  | Some slot -> remove_slot t slot
+
+let grow t =
+  let bigger = Array.make (min t.capacity (2 * Array.length t.slots)) (-1) in
+  Array.blit t.slots 0 bigger 0 t.size;
+  t.slots <- bigger
+
+let add t addr =
+  if Hashtbl.mem t.index addr then None
+  else begin
+    let victim =
+      if t.size = t.capacity then begin
+        let slot = Prng.int t.prng t.size in
+        let v = t.slots.(slot) in
+        remove_slot t slot;
+        Some v
+      end
+      else begin
+        if t.size = Array.length t.slots then grow t;
+        None
+      end
+    in
+    t.slots.(t.size) <- addr;
+    Hashtbl.replace t.index addr t.size;
+    t.size <- t.size + 1;
+    victim
+  end

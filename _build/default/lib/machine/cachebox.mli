@@ -1,0 +1,19 @@
+(** A capacity-bounded set of cache-line addresses with O(1) random
+    eviction — the container behind each private cache and each LLC.
+
+    Random replacement approximates LRU well enough to reproduce capacity
+    misses (the property the paper's figures depend on) at a fraction of the
+    bookkeeping cost. *)
+
+type t
+
+val create : capacity:int -> Dps_simcore.Prng.t -> t
+val capacity : t -> int
+val size : t -> int
+val mem : t -> int -> bool
+
+val add : t -> int -> int option
+(** Insert an address. If the box was full, returns [Some victim] — the
+    evicted address (never the one just inserted). No-op if present. *)
+
+val remove : t -> int -> unit

@@ -1,0 +1,26 @@
+type t = {
+  priv_hit : int;
+  llc_hit : int;
+  llc_remote : int;
+  dram_local : int;
+  dram_remote : int;
+  inval_local : int;
+  inval_remote : int;
+  rmw_extra : int;
+  walk_local : int;
+  walk_remote : int;
+}
+
+let default =
+  {
+    priv_hit = 6;
+    llc_hit = 44;
+    llc_remote = 220;
+    dram_local = 150;
+    dram_remote = 320;
+    inval_local = 44;
+    inval_remote = 180;
+    rmw_extra = 18;
+    walk_local = 90;
+    walk_remote = 200;
+  }

@@ -1,0 +1,22 @@
+(** Cycle costs of the memory system.
+
+    The defaults approximate the paper's Xeon E7-4850: cheap private-cache
+    hits, a local-LLC hit an order of magnitude dearer, and cross-socket
+    transfers / remote DRAM several times dearer again. The relative order
+    (priv < llc < dram_local < llc_remote ~ dram_remote) is what produces
+    the paper's scalability shapes. *)
+
+type t = {
+  priv_hit : int;  (** L1/L2 blend *)
+  llc_hit : int;  (** local-socket LLC hit *)
+  llc_remote : int;  (** cache-to-cache transfer from a remote socket *)
+  dram_local : int;
+  dram_remote : int;
+  inval_local : int;  (** invalidating sharers confined to this socket *)
+  inval_remote : int;  (** invalidating at least one remote-socket sharer *)
+  rmw_extra : int;  (** added by atomic read-modify-writes *)
+  walk_local : int;  (** TLB-miss page walk, page homed locally *)
+  walk_remote : int;  (** page walk against a remote node's page tables *)
+}
+
+val default : t

@@ -1,0 +1,285 @@
+module Prng = Dps_simcore.Prng
+module Bitset = Dps_simcore.Bitset
+module Stats = Dps_simcore.Stats
+
+type kind = Read | Write | Rmw
+type policy = On_node of int | Interleave
+
+type config = {
+  topo : Topology.t;
+  costs : Costs.t;
+  priv_lines : int;
+  llc_lines : int;
+  tlb_entries : int;  (* pages per core; a page is 64 lines (4 KB) *)
+}
+
+let config_default =
+  {
+    topo = Topology.default;
+    costs = Costs.default;
+    priv_lines = 4096 (* 256 KB of 64 B lines *);
+    llc_lines = 393216 (* 24 MB *);
+    tlb_entries = 512 (* 2 MB of reach *);
+  }
+
+let config_scaled ?(factor = 16) () =
+  {
+    config_default with
+    priv_lines = max 64 (config_default.priv_lines / factor);
+    llc_lines = max 512 (config_default.llc_lines / factor);
+    tlb_entries = max 16 (config_default.tlb_entries / factor);
+  }
+
+(* [wbusy]: the simulated time until which the line's ownership is in
+   transit. Writes from different cores must acquire ownership serially —
+   a single hot line is a global serialization point, which is precisely
+   the contention collapse of §2 — while reads of a shared line replicate
+   and serve in parallel. *)
+type line = { home : int; mutable owner : int; sharers : Bitset.t; mutable wbusy : int }
+
+type region = { base : int; nlines : int; pol : policy }
+
+type t = {
+  cfg : config;
+  priv : Cachebox.t array;  (* per physical core *)
+  tlb : Cachebox.t array;  (* per physical core, in pages *)
+  llc : Cachebox.t array;  (* per socket *)
+  lines : (int, line) Hashtbl.t;
+  dram_busy : int array;  (* per NUMA node: memory-controller occupancy *)
+  mutable regions : region array;
+  mutable nregions : int;
+  mutable next_addr : int;
+  stats : Stats.t;
+  active : bool array;
+}
+
+let create ?(seed = 42L) cfg =
+  let root = Prng.create seed in
+  let topo = cfg.topo in
+  {
+    cfg;
+    priv = Array.init (Topology.ncores topo) (fun _ -> Cachebox.create ~capacity:cfg.priv_lines (Prng.split root));
+    tlb = Array.init (Topology.ncores topo) (fun _ -> Cachebox.create ~capacity:cfg.tlb_entries (Prng.split root));
+    llc = Array.init topo.Topology.sockets (fun _ -> Cachebox.create ~capacity:cfg.llc_lines (Prng.split root));
+    lines = Hashtbl.create 65536;
+    dram_busy = Array.make topo.Topology.sockets 0;
+    regions = Array.make 16 { base = 0; nlines = 0; pol = Interleave };
+    nregions = 0;
+    next_addr = 0;
+    stats = Stats.create ();
+    active = Array.make (Topology.nthreads topo) false;
+  }
+
+let topology t = t.cfg.topo
+let config t = t.cfg
+let stats t = t.stats
+
+let alloc t pol ~lines =
+  assert (lines > 0);
+  let base = t.next_addr in
+  t.next_addr <- base + lines;
+  if t.nregions = Array.length t.regions then begin
+    let bigger = Array.make (2 * t.nregions) t.regions.(0) in
+    Array.blit t.regions 0 bigger 0 t.nregions;
+    t.regions <- bigger
+  end;
+  t.regions.(t.nregions) <- { base; nlines = lines; pol };
+  t.nregions <- t.nregions + 1;
+  base
+
+let region_of t addr =
+  (* Regions have strictly increasing bases: binary search. *)
+  let lo = ref 0 and hi = ref (t.nregions - 1) in
+  let found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let r = t.regions.(mid) in
+    if addr < r.base then hi := mid - 1
+    else if addr >= r.base + r.nlines then lo := mid + 1
+    else begin
+      found := Some r;
+      lo := !hi + 1
+    end
+  done;
+  match !found with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Machine: access to unallocated address %d" addr)
+
+let compute_home t addr =
+  let r = region_of t addr in
+  match r.pol with
+  | On_node n ->
+      assert (n >= 0 && n < t.cfg.topo.Topology.sockets);
+      n
+  | Interleave -> (addr - r.base) mod t.cfg.topo.Topology.sockets
+
+let line_of t addr =
+  match Hashtbl.find_opt t.lines addr with
+  | Some l -> l
+  | None ->
+      let l =
+        {
+          home = compute_home t addr;
+          owner = -1;
+          sharers = Bitset.create (Topology.ncores t.cfg.topo);
+          wbusy = 0;
+        }
+      in
+      Hashtbl.add t.lines addr l;
+      l
+
+let home_of t addr = (line_of t addr).home
+
+(* A line falling out of a private cache loses its coherence permissions:
+   dirty data is considered written back to the socket LLC. *)
+let priv_insert t core addr =
+  match Cachebox.add t.priv.(core) addr with
+  | None -> ()
+  | Some victim -> (
+      match Hashtbl.find_opt t.lines victim with
+      | None -> ()
+      | Some l ->
+          Bitset.remove l.sharers core;
+          if l.owner = core then l.owner <- -1)
+
+let llc_insert t sock addr = ignore (Cachebox.add t.llc.(sock) addr)
+
+let llc_present_elsewhere t sock addr =
+  let found = ref false in
+  for s = 0 to Array.length t.llc - 1 do
+    if s <> sock && (not !found) && Cachebox.mem t.llc.(s) addr then found := true
+  done;
+  !found
+
+let fetch_cost t line ~core ~sock ~addr =
+  let c = t.cfg.costs in
+  let topo = t.cfg.topo in
+  if line.owner >= 0 && line.owner <> core then
+    if Topology.socket_of_core topo line.owner = sock then (c.Costs.llc_hit, `Local_transfer)
+    else (c.Costs.llc_remote, `Remote)
+  else if Cachebox.mem t.llc.(sock) addr then (c.Costs.llc_hit, `Llc)
+  else if llc_present_elsewhere t sock addr then (c.Costs.llc_remote, `Remote)
+  else if line.home = sock then (c.Costs.dram_local, `Dram)
+  else (c.Costs.dram_remote, `Remote_dram)
+
+let count_fetch t = function
+  | `Local_transfer | `Llc -> Stats.incr t.stats "llc_hits"
+  | `Remote ->
+      Stats.incr t.stats "llc_misses";
+      Stats.incr t.stats "remote_misses"
+  | `Dram -> Stats.incr t.stats "llc_misses"
+  | `Remote_dram ->
+      Stats.incr t.stats "llc_misses";
+      Stats.incr t.stats "remote_misses"
+
+let invalidation_cost t line ~core ~sock =
+  let c = t.cfg.costs in
+  let topo = t.cfg.topo in
+  let remote = ref false and local = ref false in
+  Bitset.iter
+    (fun s ->
+      if s <> core && s <> line.owner then
+        if Topology.socket_of_core topo s = sock then local := true else remote := true)
+    line.sharers;
+  if !remote then c.Costs.inval_remote else if !local then c.Costs.inval_local else 0
+
+let do_invalidate t line ~core ~sock ~addr =
+  Bitset.iter (fun s -> if s <> core then Cachebox.remove t.priv.(s) addr) line.sharers;
+  if line.owner >= 0 && line.owner <> core then Cachebox.remove t.priv.(line.owner) addr;
+  for s = 0 to Array.length t.llc - 1 do
+    if s <> sock then Cachebox.remove t.llc.(s) addr
+  done;
+  Bitset.clear line.sharers;
+  Bitset.add line.sharers core;
+  line.owner <- core
+
+(* A node's memory controller streams one line every few cycles; fetches
+   that reach DRAM queue behind it. A working set homed on one node (the
+   default "node local" policy of Table 2) therefore saturates that node,
+   while interleaving spreads the load — exactly the paper's observation. *)
+let dram_service_cycles = 6
+
+let dram_queue t ~now node =
+  let queue = max 0 (t.dram_busy.(node) - now) in
+  t.dram_busy.(node) <- max now t.dram_busy.(node) + dram_service_cycles;
+  if queue > 0 then Stats.incr t.stats "dram_queueing";
+  queue
+
+(* Address translation: the page walk reads page tables homed where the
+   page lives, so pointer chases over big remote working sets pay remote
+   walks — part of the NUMA penalty DPS's partitioning removes. *)
+let tlb_cost t ~core ~sock line addr =
+  let page = addr lsr 6 in
+  if Cachebox.mem t.tlb.(core) page then 0
+  else begin
+    Stats.incr t.stats "tlb_misses";
+    ignore (Cachebox.add t.tlb.(core) page);
+    if line.home = sock then t.cfg.costs.Costs.walk_local else t.cfg.costs.Costs.walk_remote
+  end
+
+let access t ~now ~thread ~addr ~kind =
+  let topo = t.cfg.topo in
+  let core = Topology.core_of_thread topo thread in
+  let sock = Topology.socket_of_core topo core in
+  let line = line_of t addr in
+  let c = t.cfg.costs in
+  Stats.incr t.stats "accesses";
+  let translation = tlb_cost t ~core ~sock line addr in
+  let present = Cachebox.mem t.priv.(core) addr in
+  match kind with
+  | Read ->
+      if present && (line.owner = core || Bitset.mem line.sharers core) then begin
+        Stats.incr t.stats "priv_hits";
+        translation + c.Costs.priv_hit
+      end
+      else begin
+        let cost, src = fetch_cost t line ~core ~sock ~addr in
+        count_fetch t src;
+        let bw = match src with `Dram | `Remote_dram -> dram_queue t ~now line.home | _ -> 0 in
+        if line.owner >= 0 && line.owner <> core then begin
+          (* Dirty remote copy becomes shared. *)
+          Bitset.add line.sharers line.owner;
+          line.owner <- -1
+        end;
+        Bitset.add line.sharers core;
+        priv_insert t core addr;
+        llc_insert t sock addr;
+        translation + bw + cost
+      end
+  | Write | Rmw ->
+      let extra = if kind = Rmw then c.Costs.rmw_extra else 0 in
+      if present && line.owner = core then begin
+        Stats.incr t.stats "priv_hits";
+        translation + c.Costs.priv_hit + extra
+      end
+      else begin
+        let fetch, src =
+          if present && Bitset.mem line.sharers core then (c.Costs.priv_hit, `Upgrade)
+          else fetch_cost t line ~core ~sock ~addr
+        in
+        (match src with
+        | `Upgrade -> Stats.incr t.stats "priv_hits"
+        | (`Local_transfer | `Llc | `Remote | `Dram | `Remote_dram) as s -> count_fetch t s);
+        let bw = match src with `Dram | `Remote_dram -> dram_queue t ~now line.home | _ -> 0 in
+        let inval = invalidation_cost t line ~core ~sock in
+        if inval > 0 then Stats.incr t.stats "invalidations";
+        do_invalidate t line ~core ~sock ~addr;
+        priv_insert t core addr;
+        llc_insert t sock addr;
+        (* Ownership transfers of one line serialize: queue behind any
+           transfer still in flight. *)
+        let transfer = fetch + inval + extra in
+        let queue = max 0 (line.wbusy - now) in
+        if queue > 0 then Stats.incr t.stats "write_queueing";
+        line.wbusy <- max now line.wbusy + transfer;
+        translation + bw + queue + transfer
+      end
+
+let set_active t ~thread v = t.active.(thread) <- v
+
+let work_cost t ~thread n =
+  match Topology.sibling_of_thread t.cfg.topo thread with
+  | Some sib when t.active.(sib) -> n * 8 / 5
+  | Some _ | None -> n
+
+let cycles_to_seconds t cycles = float_of_int cycles /. (t.cfg.topo.Topology.ghz *. 1e9)

@@ -1,0 +1,64 @@
+(** The simulated NUMA machine: cache hierarchy, coherence and cycle costs.
+
+    Addresses are abstract cache-line numbers handed out by {!alloc}. Every
+    simulated memory access goes through {!access}, which consults a
+    MESI-style line directory plus per-core private caches and per-socket
+    LLCs, charges a cycle cost, and updates the model. This is where all of
+    the paper's mechanisms live: coherence invalidations caused by stores,
+    capacity misses past LLC size, and the local/remote NUMA cost gap. *)
+
+type kind = Read | Write | Rmw
+
+type policy =
+  | On_node of int  (** all lines homed on one NUMA node *)
+  | Interleave  (** lines striped round-robin across nodes *)
+
+type config = {
+  topo : Topology.t;
+  costs : Costs.t;
+  priv_lines : int;  (** private (L1+L2) capacity per physical core, in lines *)
+  llc_lines : int;  (** LLC capacity per socket, in lines *)
+  tlb_entries : int;  (** TLB reach per core, in 4 KB (64-line) pages *)
+}
+
+val config_default : config
+(** The paper's machine: 256 KB private per core, 24 MB LLC per socket,
+    64 B lines — scaled only in the test topology. *)
+
+val config_scaled : ?factor:int -> unit -> config
+(** The default machine with both cache capacities divided by [factor]
+    (default 16). Benchmarks shrink caches and working sets together so the
+    capacity knees land at the same relative spot with less simulation work. *)
+
+type t
+
+val create : ?seed:int64 -> config -> t
+val topology : t -> Topology.t
+val config : t -> config
+
+val alloc : t -> policy -> lines:int -> int
+(** Allocate a region of [lines] cache lines; returns the base address.
+    Line metadata is materialised lazily, so huge sparse regions are cheap. *)
+
+val access : t -> now:int -> thread:int -> addr:int -> kind:kind -> int
+(** [access t ~now ~thread ~addr ~kind] performs one access by hardware
+    thread [thread] at simulated time [now] and returns its cost in cycles.
+    Write/RMW misses to the same line serialize (ownership moves between
+    caches one transfer at a time), so a second writer arriving while a
+    transfer is in flight additionally pays the queueing delay — the hot
+    cache-line collapse of §2. Reads of a shared line serve in parallel. *)
+
+val work_cost : t -> thread:int -> int -> int
+(** Compute-cycle cost adjusted for hyperthread sharing: if the sibling
+    hardware thread is active the pipeline is shared and the cost dilates. *)
+
+val set_active : t -> thread:int -> bool -> unit
+val home_of : t -> int -> int
+(** NUMA node a line is homed on (for tests). *)
+
+val stats : t -> Dps_simcore.Stats.t
+(** Counters: ["accesses"], ["priv_hits"], ["llc_hits"], ["llc_misses"]
+    (served by DRAM or another socket), ["remote_misses"] (cross-socket
+    only), ["invalidations"]. *)
+
+val cycles_to_seconds : t -> int -> float

@@ -1,0 +1,46 @@
+type t = {
+  sockets : int;
+  cores_per_socket : int;
+  threads_per_core : int;
+  ghz : float;
+}
+
+let default = { sockets = 4; cores_per_socket = 10; threads_per_core = 2; ghz = 2.0 }
+let small = { sockets = 2; cores_per_socket = 4; threads_per_core = 2; ghz = 2.0 }
+
+let ncores t = t.sockets * t.cores_per_socket
+let nthreads t = ncores t * t.threads_per_core
+
+let core_of_thread t hw = hw / t.threads_per_core
+let socket_of_core t core = core / t.cores_per_socket
+let socket_of_thread t hw = socket_of_core t (core_of_thread t hw)
+
+let sibling_of_thread t hw =
+  if t.threads_per_core < 2 then None
+  else
+    let ht = hw mod t.threads_per_core in
+    if ht = 0 then Some (hw + 1) else Some (hw - 1)
+
+let hw_id t ~socket ~core ~ht =
+  (((socket * t.cores_per_socket) + core) * t.threads_per_core) + ht
+
+let placement t ~n =
+  assert (n >= 1 && n <= nthreads t);
+  let result = Array.make n 0 in
+  let cores = ncores t in
+  for i = 0 to n - 1 do
+    let ht = i / cores in
+    let flat = i mod cores in
+    let socket = flat / t.cores_per_socket and core = flat mod t.cores_per_socket in
+    result.(i) <- hw_id t ~socket ~core ~ht
+  done;
+  result
+
+let localities _t ~placed ~size =
+  assert (size >= 1);
+  let n = Array.length placed in
+  let groups = (n + size - 1) / size in
+  Array.init groups (fun g ->
+      let lo = g * size in
+      let hi = min n (lo + size) in
+      Array.sub placed lo (hi - lo))

@@ -1,0 +1,41 @@
+(** Machine topology and the paper's thread-placement rule.
+
+    Hardware threads are numbered so that the two hyperthreads of a physical
+    core are adjacent: [hw = (socket * cores_per_socket + core) * 2 + ht].
+    The evaluation machine in the paper is [default]: 4 sockets x 10 cores
+    x 2 hyperthreads at 2 GHz. *)
+
+type t = {
+  sockets : int;
+  cores_per_socket : int;
+  threads_per_core : int;
+  ghz : float;  (** clock, used only to convert cycles to seconds *)
+}
+
+val default : t
+(** The paper's 4x10x2 Xeon E7-4850 box. *)
+
+val small : t
+(** A 2x4x2 machine for fast tests. *)
+
+val nthreads : t -> int
+val ncores : t -> int
+val socket_of_thread : t -> int -> int
+val core_of_thread : t -> int -> int
+(** Physical core id in [0, ncores). *)
+
+val sibling_of_thread : t -> int -> int option
+(** The other hyperthread on the same physical core, if any. *)
+
+val socket_of_core : t -> int -> int
+
+val placement : t -> n:int -> int array
+(** [placement t ~n] is the paper's allocation rule: a minimal number of
+    sockets with a single hyperthread per core; once every core has one
+    hyperthread, add second hyperthreads across a minimal number of sockets.
+    Element [i] is the hardware-thread id of logical thread [i]. *)
+
+val localities : t -> placed:int array -> size:int -> int array array
+(** Group placed threads into consecutive localities of [size] hardware
+    threads (the last may be smaller). With the paper's placement each
+    locality lives within one socket. *)

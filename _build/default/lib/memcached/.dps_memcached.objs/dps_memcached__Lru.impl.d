@@ -1,0 +1,1 @@
+lib/memcached/lru.ml: Dps_sthread Dps_sync Item

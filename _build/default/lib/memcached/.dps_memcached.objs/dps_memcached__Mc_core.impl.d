@@ -1,0 +1,1 @@
+lib/memcached/mc_core.ml: Dps_sthread Item Lru Mc_hash Slab

@@ -1,0 +1,1 @@
+lib/memcached/mc_core.mli: Dps_sthread

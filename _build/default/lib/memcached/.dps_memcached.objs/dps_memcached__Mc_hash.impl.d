@@ -1,0 +1,1 @@
+lib/memcached/mc_hash.ml: Array Dps_sthread Dps_sync Item

@@ -1,0 +1,1 @@
+lib/memcached/mc_hash.mli: Dps_sthread Item

@@ -1,0 +1,1 @@
+lib/memcached/slab.ml: Array Dps_sthread List

@@ -1,0 +1,1 @@
+lib/memcached/slab.mli: Dps_sthread

@@ -1,0 +1,1 @@
+lib/memcached/variants.ml: Array Dps Dps_ffwd Dps_machine Dps_sthread Mc_core

@@ -1,0 +1,1 @@
+lib/memcached/variants.mli: Dps_sthread

@@ -1,0 +1,34 @@
+(** A cache item: one header cache line plus a value block of [val_lines]
+    lines. Items are threaded through both the hash chain and the LRU
+    list / CLOCK ring, as in memcached. *)
+
+type t = {
+  key : int;
+  haddr : int;  (* header line *)
+  mutable val_base : int;  (* value block (from the slab allocator) *)
+  mutable val_lines : int;
+  mutable stamp : int;  (* version; bumped by sets *)
+  (* hash chain *)
+  mutable hnext : t option;
+  (* LRU links *)
+  mutable lprev : t option;
+  mutable lnext : t option;
+  mutable in_lru : bool;
+  (* CLOCK reference bit (ParSec-style read path sets nothing; the sweep
+     clears this, and sets mark it) *)
+  mutable referenced : bool;
+}
+
+let make ~key ~haddr ~val_base ~val_lines =
+  {
+    key;
+    haddr;
+    val_base;
+    val_lines;
+    stamp = 0;
+    hnext = None;
+    lprev = None;
+    lnext = None;
+    in_lru = false;
+    referenced = true;
+  }

@@ -1,0 +1,19 @@
+(** Intrusive doubly-linked LRU list over items, guarded by one lock — the
+    structure whose bump-on-every-get makes stock memcached's read path
+    store-heavy and contended. *)
+
+type t
+
+val create : Dps_sthread.Alloc.t -> t
+val count : t -> int
+
+val insert : t -> Item.t -> unit
+(** Push a (non-resident) item to the front. *)
+
+val touch : t -> Item.t -> unit
+(** The get-path bump: move a resident item to the front. *)
+
+val remove : t -> Item.t -> unit
+
+val pop_tail : t -> Item.t option
+(** Remove and return the least-recently-used item. *)

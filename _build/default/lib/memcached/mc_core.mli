@@ -1,0 +1,23 @@
+(** One memcached shard: item hash + recency structure + slab allocator,
+    with capacity-triggered eviction.
+
+    [recency] selects the read path the paper contrasts: [Lru_list] is
+    stock memcached (rate-limited bumps of a locked LRU list on gets);
+    [Clock] is ParSec-style (store-free gets, second-chance eviction). *)
+
+type recency = Lru_list | Clock
+
+type t
+
+val create : Dps_sthread.Alloc.t -> buckets:int -> capacity:int -> recency:recency -> t
+
+val get : t -> int -> bool
+(** [true] on a hit; touches the value lines. *)
+
+val set : t -> key:int -> val_lines:int -> unit
+(** Insert or update, evicting at capacity. *)
+
+val delete : t -> int -> bool
+val size : t -> int
+val evictions : t -> int
+val hit_rate : t -> float

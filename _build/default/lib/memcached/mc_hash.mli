@@ -1,0 +1,16 @@
+(** memcached's item hash table: chained buckets, a spinlock embedded in
+    each bucket's cache line. *)
+
+type t
+
+val create : Dps_sthread.Alloc.t -> buckets:int -> t
+
+val find : t -> int -> Item.t option
+(** Locked lookup. *)
+
+val find_nolock : t -> int -> Item.t option
+(** Store-free read path (ParSec-style gets): reads the bucket without
+    taking its lock; may miss an item being concurrently inserted. *)
+
+val insert : t -> Item.t -> unit
+val remove : t -> int -> Item.t option

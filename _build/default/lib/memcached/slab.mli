@@ -1,0 +1,14 @@
+(** Slab allocator in the spirit of memcached's: power-of-two size classes,
+    one free list per class, one metadata cache line per class charged on
+    every allocate/free. *)
+
+type t
+
+val create : Dps_sthread.Alloc.t -> t
+
+val allocate : t -> lines:int -> int
+(** Allocate a chunk of at least [lines] cache lines; returns its base
+    address. Reuses freed chunks of the same class first. *)
+
+val free : t -> base:int -> lines:int -> unit
+val free_chunks : t -> int

@@ -1,0 +1,128 @@
+(** The five memcached configurations of §5.3, behind one client-facing
+    record so benchmarks and examples drive them identically:
+
+    - [stock]: one shared instance; locked-LRU read path.
+    - [parsec]: one shared instance; store-free (CLOCK) read path.
+    - [ffwd_mc]: everything delegated to a single ffwd server.
+    - [dps_mc]: hash table, LRU and slab all partitioned with DPS;
+      sets delegated asynchronously, gets synchronously.
+    - [dps_parsec]: DPS partitioning over the ParSec-style core; gets run
+      locally (§4.4 local execution) since they are store-free. *)
+
+module Sthread = Dps_sthread.Sthread
+module Alloc = Dps_sthread.Alloc
+module Machine = Dps_machine.Machine
+module Topology = Dps_machine.Topology
+
+type t = {
+  name : string;
+  attach : int -> unit;  (** call once per client thread, with its index *)
+  get : int -> bool;
+  set : key:int -> val_lines:int -> unit;
+  finish : unit -> unit;  (** call when the client stops issuing *)
+  populate : keys:int array -> val_lines:int -> unit;  (** cold pre-load *)
+  client_hw : int -> int;  (** where to pin client [i] *)
+}
+
+let shared_core sched ~recency ~buckets ~capacity =
+  let m = Sthread.machine sched in
+  let alloc = Alloc.create m ~cold:Alloc.Spread in
+  Mc_core.create alloc ~buckets ~capacity ~recency
+
+let default_placement sched n =
+  let topo = Machine.topology (Sthread.machine sched) in
+  let placement = Topology.placement topo ~n in
+  fun i -> placement.(i)
+
+let shared sched ~name ~recency ~nclients ~buckets ~capacity =
+  let core = shared_core sched ~recency ~buckets ~capacity in
+  {
+    name;
+    attach = (fun _ -> ());
+    get = (fun key -> Mc_core.get core key);
+    set = (fun ~key ~val_lines -> Mc_core.set core ~key ~val_lines);
+    finish = (fun () -> ());
+    populate =
+      (fun ~keys ~val_lines -> Array.iter (fun key -> Mc_core.set core ~key ~val_lines) keys);
+    client_hw = default_placement sched nclients;
+  }
+
+let stock sched ~nclients ~buckets ~capacity =
+  shared sched ~name:"stock" ~recency:Mc_core.Lru_list ~nclients ~buckets ~capacity
+
+let parsec sched ~nclients ~buckets ~capacity =
+  shared sched ~name:"parsec" ~recency:Mc_core.Clock ~nclients ~buckets ~capacity
+
+let ffwd_mc sched ~nclients ~buckets ~capacity =
+  let m = Sthread.machine sched in
+  (* server owns socket 0's first hardware thread; clients avoid it *)
+  let alloc = Alloc.create m ~cold:(Alloc.Node 0) in
+  let core = Mc_core.create alloc ~buckets ~capacity ~recency:Mc_core.Lru_list in
+  let f = Dps_ffwd.Ffwd.create sched ~server_hw:[| 0 |] ~clients:nclients in
+  let topo = Machine.topology m in
+  let placement = Topology.placement topo ~n:(min (Topology.nthreads topo) (nclients + 1)) in
+  let nplaced = Array.length placement in
+  {
+    name = "ffwd";
+    attach = (fun c -> Dps_ffwd.Ffwd.attach f ~client:c);
+    get = (fun key -> Dps_ffwd.Ffwd.call f ~server:0 (fun () -> if Mc_core.get core key then 1 else 0) = 1);
+    set =
+      (fun ~key ~val_lines ->
+        ignore
+          (Dps_ffwd.Ffwd.call f ~server:0 (fun () ->
+               Mc_core.set core ~key ~val_lines;
+               0)));
+    finish = (fun () -> Dps_ffwd.Ffwd.client_done f);
+    populate =
+      (fun ~keys ~val_lines -> Array.iter (fun key -> Mc_core.set core ~key ~val_lines) keys);
+    client_hw = (fun i -> placement.(1 + (i mod (nplaced - 1))) (* skip the server's slot *));
+  }
+
+let dps_generic sched ~name ~recency ~get_mode ~nclients ~locality_size ~buckets ~capacity =
+  let nparts = (nclients + locality_size - 1) / locality_size in
+  let dps =
+    Dps.create sched ~nclients ~locality_size
+      ~hash:(fun k -> k)
+      ~mk_data:(fun (info : Dps.partition_info) ->
+        Mc_core.create info.Dps.alloc
+          ~buckets:(max 64 (buckets / nparts))
+          ~capacity:(max 1 (capacity / nparts))
+          ~recency)
+      ()
+  in
+  {
+    name;
+    attach = (fun c -> Dps.attach dps ~client:c);
+    get =
+      (fun key ->
+        let op core = if Mc_core.get core key then 1 else 0 in
+        (match get_mode with
+        | `Delegate -> Dps.call dps ~key op
+        | `Local -> Dps.execute_local dps ~key op)
+        = 1);
+    set =
+      (fun ~key ~val_lines ->
+        Dps.execute_async dps ~key (fun core ->
+            Mc_core.set core ~key ~val_lines;
+            0));
+    finish =
+      (fun () ->
+        Dps.client_done dps;
+        Dps.drain dps);
+    populate =
+      (fun ~keys ~val_lines ->
+        Array.iter
+          (fun key ->
+            let core = Dps.partition_data dps (Dps.partition_of_key dps key) in
+            Mc_core.set core ~key ~val_lines)
+          keys);
+    client_hw = (fun i -> Dps.client_hw dps i);
+  }
+
+let dps_mc sched ~nclients ~locality_size ~buckets ~capacity =
+  dps_generic sched ~name:"dps" ~recency:Mc_core.Lru_list ~get_mode:`Delegate ~nclients
+    ~locality_size ~buckets ~capacity
+
+let dps_parsec sched ~nclients ~locality_size ~buckets ~capacity =
+  dps_generic sched ~name:"dps-parsec" ~recency:Mc_core.Clock ~get_mode:`Local ~nclients
+    ~locality_size ~buckets ~capacity

@@ -1,0 +1,45 @@
+(** The five memcached configurations compared in §5.3, behind one
+    client-facing record so benchmarks and examples drive them identically. *)
+
+type t = {
+  name : string;
+  attach : int -> unit;  (** call once per client thread, with its index *)
+  get : int -> bool;
+  set : key:int -> val_lines:int -> unit;
+  finish : unit -> unit;  (** call when the client stops issuing *)
+  populate : keys:int array -> val_lines:int -> unit;  (** cold pre-load *)
+  client_hw : int -> int;  (** where to pin client [i] *)
+}
+
+val stock :
+  Dps_sthread.Sthread.t -> nclients:int -> buckets:int -> capacity:int -> t
+(** One shared instance; locked-LRU read path. *)
+
+val parsec :
+  Dps_sthread.Sthread.t -> nclients:int -> buckets:int -> capacity:int -> t
+(** One shared instance; store-free (CLOCK) read path. *)
+
+val ffwd_mc :
+  Dps_sthread.Sthread.t -> nclients:int -> buckets:int -> capacity:int -> t
+(** Everything delegated to a single ffwd server on hardware thread 0;
+    clients are placed to avoid it. *)
+
+val dps_mc :
+  Dps_sthread.Sthread.t ->
+  nclients:int ->
+  locality_size:int ->
+  buckets:int ->
+  capacity:int ->
+  t
+(** Hash, LRU and slab all partitioned with DPS; sets delegated
+    asynchronously, gets synchronously. *)
+
+val dps_parsec :
+  Dps_sthread.Sthread.t ->
+  nclients:int ->
+  locality_size:int ->
+  buckets:int ->
+  capacity:int ->
+  t
+(** DPS partitioning over the ParSec-style core; store-free gets run
+    locally (§4.4 local execution), sets delegated asynchronously. *)

@@ -1,0 +1,1 @@
+lib/parsec/parsec.ml: Dps_sthread Dps_sync Hashtbl List

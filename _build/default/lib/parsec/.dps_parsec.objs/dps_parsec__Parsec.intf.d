@@ -1,0 +1,1 @@
+lib/parsec/parsec.mli: Dps_sthread

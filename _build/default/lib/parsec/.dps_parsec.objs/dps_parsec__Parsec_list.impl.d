@@ -1,0 +1,1 @@
+lib/parsec/parsec_list.ml: Dps_sthread Dps_sync List Option Parsec

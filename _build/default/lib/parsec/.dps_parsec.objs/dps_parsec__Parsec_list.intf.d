@@ -1,0 +1,1 @@
+lib/parsec/parsec_list.mli: Dps_sthread

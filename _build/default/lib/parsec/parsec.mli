@@ -1,0 +1,31 @@
+(** ParSec (Wang, Stamler & Parmer, EuroSys'16) — the runtime the paper
+    builds DPS on, reproduced at the fidelity DPS needs: time-based
+    quiescence for memory reclamation and wait-free read sections.
+
+    A reader enters a section by publishing the current global time to its
+    own slot (one local store); a writer that has unlinked a node calls
+    {!quiesce}, which waits until every thread's published time passes the
+    unlink time — after which no reader can still hold the node. OCaml's GC
+    makes the actual free a no-op, so the *cost* of quiescence (the store
+    on the read path is avoided... the read path's only cost is one local
+    line write, and the write path blocks) is what this module charges —
+    the same trade the paper measures through the ParSec list and
+    memcached. *)
+
+type t
+
+val create : Dps_sthread.Alloc.t -> t
+
+val enter : t -> unit
+(** Begin a read section: publish the simulated time to the caller's slot
+    (a write to the caller's own, node-local line). *)
+
+val exit : t -> unit
+(** End the read section (publishes "quiescent"). *)
+
+val quiesce : t -> unit
+(** Block until every thread that was inside a read section when this call
+    started has left it — the grace period a writer pays after unlinking. *)
+
+val active_readers : t -> int
+(** Threads currently inside read sections (tests). *)

@@ -1,0 +1,64 @@
+type t = { words : int array; cap : int }
+
+let create n =
+  assert (n >= 0);
+  { words = Array.make ((n + 62) / 63) 0; cap = n }
+
+let capacity t = t.cap
+
+let check t i = assert (i >= 0 && i < t.cap)
+
+let add t i =
+  check t i;
+  let w = i / 63 in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod 63))
+
+let remove t i =
+  check t i;
+  let w = i / 63 in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod 63))
+
+let mem t i =
+  check t i;
+  t.words.(i / 63) land (1 lsl (i mod 63)) <> 0
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t =
+  let rec go i = i >= Array.length t.words || (t.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let bits = ref t.words.(w) in
+    while !bits <> 0 do
+      let low = !bits land - !bits in
+      let rec log2 n acc = if n = 1 then acc else log2 (n lsr 1) (acc + 1) in
+      f ((w * 63) + log2 low 0);
+      bits := !bits land lnot low
+    done
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun i -> acc := f !acc i) t;
+  !acc
+
+exception Found
+
+let exists p t =
+  try
+    iter (fun i -> if p i then raise Found) t;
+    false
+  with Found -> true
+
+let singleton_or_empty t =
+  match fold (fun acc i -> i :: acc) [] t with
+  | [ i ] -> Some i
+  | _ -> None

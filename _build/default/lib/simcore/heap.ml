@@ -1,0 +1,69 @@
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let dummy = Obj.magic 0
+
+let create () = { data = Array.make 64 dummy; len = 0; next_seq = 0 }
+
+let is_empty t = t.len = 0
+let size t = t.len
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.data) dummy in
+  Array.blit t.data 0 bigger 0 t.len;
+  t.data <- bigger
+
+let push t ~time payload =
+  if t.len = Array.length t.data then grow t;
+  let e = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  let i = ref t.len in
+  t.len <- t.len + 1;
+  t.data.(!i) <- e;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if less e t.data.(parent) then begin
+      t.data.(!i) <- t.data.(parent);
+      t.data.(parent) <- e;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    let last = t.data.(t.len) in
+    t.data.(t.len) <- dummy;
+    if t.len > 0 then begin
+      t.data.(0) <- last;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && less t.data.(l) t.data.(!smallest) then smallest := l;
+        if r < t.len && less t.data.(r) t.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.data.(!i) in
+          t.data.(!i) <- t.data.(!smallest);
+          t.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.time, top.payload)
+  end
+
+let min_time t = if t.len = 0 then None else Some t.data.(0).time

@@ -1,0 +1,18 @@
+(** Binary min-heap keyed by [(time, seq)].
+
+    This is the simulator's event queue. Ties on [time] are broken by an
+    insertion sequence number so the simulation is deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:int -> 'a -> unit
+(** Sequence numbers are assigned internally in push order. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Pop the minimum [(time, payload)], or [None] if empty. *)
+
+val min_time : 'a t -> int option

@@ -1,0 +1,31 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = next64 t in
+  { state = mix64 (Int64.logxor s 0xA5A5A5A5A5A5A5A5L) }
+
+let int t bound =
+  assert (bound > 0);
+  let v = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in
+  v mod bound
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
+  v /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let below t p = float t 1.0 < p

@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random number generation for the simulator.
+
+    Every simulated thread and every model component that needs randomness
+    owns its own [t], derived from an experiment seed, so simulation results
+    are reproducible regardless of scheduling order. The generator is
+    splitmix64, which is fast and has a convenient [split] operation for
+    deriving independent streams. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent stream and advances [t]. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val below : t -> float -> bool
+(** [below t p] is true with probability [p]. *)

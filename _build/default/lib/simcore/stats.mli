@@ -1,0 +1,11 @@
+(** Named counters for simulation statistics. *)
+
+type t
+
+val create : unit -> t
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val get : t -> string -> int
+val reset : t -> unit
+val to_list : t -> (string * int) list
+(** Sorted by name. *)

@@ -1,0 +1,1 @@
+lib/sthread/alloc.ml: Dps_machine Sthread

@@ -1,0 +1,1 @@
+lib/sthread/alloc.mli: Dps_machine

@@ -1,0 +1,1 @@
+lib/sthread/simops.ml: Sthread

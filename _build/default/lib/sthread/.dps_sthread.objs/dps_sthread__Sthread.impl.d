@@ -1,0 +1,1 @@
+lib/sthread/sthread.ml: Dps_machine Dps_simcore Effect Fun

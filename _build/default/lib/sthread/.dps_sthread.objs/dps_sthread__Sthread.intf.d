@@ -1,0 +1,1 @@
+lib/sthread/sthread.mli: Dps_machine Dps_simcore

@@ -1,0 +1,23 @@
+module Machine = Dps_machine.Machine
+module Topology = Dps_machine.Topology
+
+type cold = Spread | Node of int
+
+type t = { m : Machine.t; cold : cold; mutable rr : int }
+
+let create m ~cold = { m; cold; rr = 0 }
+let machine t = t.m
+
+let policy t =
+  if Sthread.in_sim () then
+    Machine.On_node (Topology.socket_of_thread (Machine.topology t.m) (Sthread.self_hw ()))
+  else
+    match t.cold with
+    | Node n -> Machine.On_node n
+    | Spread ->
+        let n = t.rr in
+        t.rr <- (t.rr + 1) mod (Machine.topology t.m).Topology.sockets;
+        Machine.On_node n
+
+let lines t n = Machine.alloc t.m (policy t) ~lines:n
+let line t = lines t 1

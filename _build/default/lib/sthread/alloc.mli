@@ -1,0 +1,19 @@
+(** NUMA-aware cache-line allocator for simulated data structures.
+
+    Inside a simulated thread, allocations follow the paper's default
+    node-local policy: lines are homed on the allocating thread's socket.
+    Outside the simulation (cold population) the [cold] placement applies. *)
+
+type cold = Spread  (** round-robin sockets, like steady-state first-touch *)
+          | Node of int  (** everything on one NUMA node *)
+
+type t
+
+val create : Dps_machine.Machine.t -> cold:cold -> t
+val machine : t -> Dps_machine.Machine.t
+
+val line : t -> int
+(** Allocate one cache line; returns its address. *)
+
+val lines : t -> int -> int
+(** Allocate a contiguous run of lines; returns the base address. *)

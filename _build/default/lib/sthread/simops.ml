@@ -1,0 +1,6 @@
+let read addr = if Sthread.in_sim () then Sthread.read addr
+let write addr = if Sthread.in_sim () then Sthread.write addr
+let rmw addr = if Sthread.in_sim () then Sthread.rmw addr
+let charge_read addr = if Sthread.in_sim () then Sthread.charge_read addr
+let flush () = if Sthread.in_sim () then Sthread.flush ()
+let work n = if Sthread.in_sim () then Sthread.work n

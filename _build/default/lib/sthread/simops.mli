@@ -1,0 +1,13 @@
+(** Cold-aware charged operations.
+
+    Thin wrappers over {!Sthread} that become no-ops outside a simulated
+    thread. Data-structure code uses these exclusively, so the same
+    insert/lookup/remove paths serve both cold setup (population, test
+    verification) and charged simulation. *)
+
+val read : int -> unit
+val write : int -> unit
+val rmw : int -> unit
+val charge_read : int -> unit
+val flush : unit -> unit
+val work : int -> unit

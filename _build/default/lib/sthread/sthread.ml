@@ -1,0 +1,132 @@
+module Heap = Dps_simcore.Heap
+module Prng = Dps_simcore.Prng
+module Machine = Dps_machine.Machine
+
+type tstate = { tid : int; hw : int; prng : Prng.t; mutable pending : int }
+
+type t = {
+  m : Machine.t;
+  events : (unit -> unit) Heap.t;
+  mutable time : int;
+  mutable live : int;
+  mutable next_tid : int;
+  root_prng : Prng.t;
+}
+
+(* The scheduler runs on a single OS thread, so "the thread currently
+   executing" is a plain module-level slot set before each resumption. *)
+let current : (t * tstate) option ref = ref None
+
+let ctx () =
+  match !current with
+  | Some c -> c
+  | None -> failwith "Sthread: called from outside a simulated thread"
+
+let create m =
+  { m; events = Heap.create (); time = 0; live = 0; next_tid = 0; root_prng = Prng.create 7L }
+
+let machine t = t.m
+let now t = t.time
+let live_threads t = t.live
+
+type _ Effect.t += Suspend : int -> unit Effect.t
+
+let suspend cycles = Effect.perform (Suspend cycles)
+
+let rec exec t state f =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc =
+        (fun () ->
+          Machine.set_active t.m ~thread:state.hw false;
+          t.live <- t.live - 1);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend n ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  Heap.push t.events ~time:(t.time + max 0 n) (fun () ->
+                      current := Some (t, state);
+                      continue k ()))
+          | _ -> None);
+    }
+
+and spawn t ~hw f =
+  let state = { tid = t.next_tid; hw; prng = Prng.split t.root_prng; pending = 0 } in
+  t.next_tid <- t.next_tid + 1;
+  t.live <- t.live + 1;
+  Machine.set_active t.m ~thread:hw true;
+  Heap.push t.events ~time:t.time (fun () ->
+      current := Some (t, state);
+      exec t state f)
+
+let run ?until t =
+  let saved = !current in
+  Fun.protect
+    ~finally:(fun () -> current := saved)
+    (fun () ->
+      let keep_going = ref true in
+      while !keep_going do
+        match Heap.min_time t.events with
+        | None -> keep_going := false
+        | Some tm when (match until with Some u -> tm > u | None -> false) ->
+            keep_going := false
+        | Some _ -> (
+            match Heap.pop t.events with
+            | None -> keep_going := false
+            | Some (tm, thunk) ->
+                t.time <- tm;
+                thunk ())
+      done)
+
+let in_sim () = !current <> None
+let self_hw () = (snd (ctx ())).hw
+let self_id () = (snd (ctx ())).tid
+let self_prng () = (snd (ctx ())).prng
+let time () = (fst (ctx ())).time
+
+(* Any suspending operation first drains charges accumulated by
+   [charge_read], so batched traversal costs land before the operation. *)
+let take_pending state =
+  let p = state.pending in
+  state.pending <- 0;
+  p
+
+let work n =
+  let t, state = ctx () in
+  let cost = Machine.work_cost t.m ~thread:state.hw n in
+  suspend (cost + take_pending state)
+
+let access kind addr =
+  let t, state = ctx () in
+  let cost = Machine.access t.m ~now:t.time ~thread:state.hw ~addr ~kind in
+  suspend (cost + take_pending state)
+
+let read addr = access Machine.Read addr
+let write addr = access Machine.Write addr
+let rmw addr = access Machine.Rmw addr
+
+let access_pipelined ~factor ~kind addr =
+  assert (factor >= 1);
+  let t, state = ctx () in
+  let cost = Machine.access t.m ~now:t.time ~thread:state.hw ~addr ~kind in
+  suspend (max 1 (cost / factor) + take_pending state)
+
+let charge_read addr =
+  let t, state = ctx () in
+  state.pending <- state.pending + Machine.access t.m ~now:t.time ~thread:state.hw ~addr ~kind:Machine.Read
+
+let flush () =
+  let _, state = ctx () in
+  if state.pending > 0 then begin
+    let n = state.pending in
+    state.pending <- 0;
+    suspend n
+  end
+
+let yield () =
+  let _, state = ctx () in
+  suspend (1 + take_pending state)

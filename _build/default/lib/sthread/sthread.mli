@@ -1,0 +1,77 @@
+(** Simulated threads on a deterministic discrete-event scheduler.
+
+    Each simulated thread is an OCaml 5 fiber pinned to a hardware thread of
+    the simulated {!Dps_machine.Machine.t}. Charged operations ({!work},
+    {!read}, {!write}, {!rmw}) suspend the fiber and resume it once the
+    simulated clock has advanced by the operation's cost, so fibers
+    interleave at memory-access granularity — lock-free retry loops, CAS
+    races and delegation hand-offs genuinely happen.
+
+    The scheduler is driven by {!run}; all other functions in this interface
+    must be called from inside a simulated thread. *)
+
+type t
+
+val create : Dps_machine.Machine.t -> t
+val machine : t -> Dps_machine.Machine.t
+
+val spawn : t -> hw:int -> (unit -> unit) -> unit
+(** Create a thread pinned to hardware thread [hw], runnable at the current
+    simulated time. May be called from outside or inside the simulation. *)
+
+val run : ?until:int -> t -> unit
+(** Execute events in time order until the queue drains (all threads
+    finished) or the next event lies past [until]. Re-entrant calls are not
+    allowed. Exceptions raised by threads propagate. *)
+
+val now : t -> int
+(** Current simulated time in cycles (last dispatched event). *)
+
+val live_threads : t -> int
+
+(** {1 Operations available inside a simulated thread} *)
+
+val in_sim : unit -> bool
+(** Whether the caller is executing inside a simulated thread. Library code
+    uses this to run the same logic charged (in simulation) or cold (setup
+    and verification outside the simulation). *)
+
+val self_hw : unit -> int
+(** Hardware thread the calling fiber is pinned to. *)
+
+val self_id : unit -> int
+(** Dense per-scheduler thread index, in spawn order. *)
+
+val self_prng : unit -> Dps_simcore.Prng.t
+(** Deterministic per-thread random stream. *)
+
+val time : unit -> int
+
+val work : int -> unit
+(** Spend [n] compute cycles (dilated if the hyperthread sibling is active). *)
+
+val read : int -> unit
+(** Charged load of one cache line; a scheduling point. *)
+
+val write : int -> unit
+(** Charged store; a scheduling point. *)
+
+val rmw : int -> unit
+(** Charged atomic read-modify-write; a scheduling point. *)
+
+val access_pipelined : factor:int -> kind:Dps_machine.Machine.kind -> int -> unit
+(** Charged access whose latency is divided by [factor] (at least one
+    cycle): models memory-level parallelism when a thread streams many
+    independent accesses — e.g. the ffwd server sweeping its request lines,
+    which the paper credits for ffwd's batching advantage. The coherence
+    state transition is applied in full; only the charged latency shrinks. *)
+
+val charge_read : int -> unit
+(** Account a load without suspending — used by long read-only traversals to
+    batch up to a handful of hops per scheduling point. Pair with {!flush}. *)
+
+val flush : unit -> unit
+(** Suspend for all cycles accumulated by {!charge_read} (no-op if none). *)
+
+val yield : unit -> unit
+(** Give up the processor for one cycle. *)

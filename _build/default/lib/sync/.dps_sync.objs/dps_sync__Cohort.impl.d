@@ -1,0 +1,1 @@
+lib/sync/cohort.ml: Array Dps_machine Dps_sthread Mcs Ticket

@@ -1,0 +1,1 @@
+lib/sync/cohort.mli: Dps_machine Dps_sthread

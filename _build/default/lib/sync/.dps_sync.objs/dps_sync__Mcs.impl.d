@@ -1,0 +1,1 @@
+lib/sync/mcs.ml: Backoff Dps_sthread Hashtbl Option

@@ -1,0 +1,1 @@
+lib/sync/optik.ml: Backoff Dps_sthread

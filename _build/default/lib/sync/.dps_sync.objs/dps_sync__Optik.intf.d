@@ -1,0 +1,1 @@
+lib/sync/optik.mli: Dps_sthread

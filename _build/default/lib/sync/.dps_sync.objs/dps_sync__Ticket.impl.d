@@ -1,0 +1,1 @@
+lib/sync/ticket.ml: Backoff Dps_sthread

@@ -1,0 +1,1 @@
+lib/sync/ticket.mli: Dps_sthread

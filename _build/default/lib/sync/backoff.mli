@@ -1,0 +1,9 @@
+(** Exponential backoff for spin loops (charged compute cycles). *)
+
+type t
+
+val create : ?initial:int -> ?cap:int -> unit -> t
+val once : t -> unit
+(** Spin for the current delay and double it (up to the cap). *)
+
+val reset : t -> unit

@@ -1,0 +1,24 @@
+module Simops = Dps_sthread.Simops
+
+type t = { addr : int; parties : int; mutable count : int; mutable sense : bool }
+
+let create alloc ~parties =
+  assert (parties > 0);
+  { addr = Dps_sthread.Alloc.line alloc; parties; count = 0; sense = false }
+
+let await t =
+  Simops.rmw t.addr;
+  let my_sense = not t.sense in
+  t.count <- t.count + 1;
+  if t.count = t.parties then begin
+    t.count <- 0;
+    t.sense <- my_sense;
+    Simops.write t.addr
+  end
+  else begin
+    let b = Backoff.create ~initial:32 ~cap:512 () in
+    while t.sense <> my_sense do
+      Simops.read t.addr;
+      if t.sense <> my_sense then Backoff.once b
+    done
+  end

@@ -1,0 +1,6 @@
+(** Sense-reversing centralized barrier for simulated threads. *)
+
+type t
+
+val create : Dps_sthread.Alloc.t -> parties:int -> t
+val await : t -> unit

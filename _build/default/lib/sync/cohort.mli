@@ -1,0 +1,15 @@
+(** Cohort lock (Dice, Marathe & Shavit, PPoPP'12) — the NUMA-aware lock
+    the paper's related work contrasts with DPS's approach. A global ticket
+    lock is held by a *socket*; threads of that socket pass the lock
+    through a per-socket MCS queue (up to a hand-off budget) before
+    releasing it globally, so the lock's hot line migrates between sockets
+    rarely instead of on every acquisition. *)
+
+type t
+
+val create : Dps_sthread.Alloc.t -> Dps_machine.Machine.t -> t
+val acquire : t -> unit
+val release : t -> unit
+
+val global_handoffs : t -> int
+(** Cross-socket lock transfers performed (tests/ablation). *)

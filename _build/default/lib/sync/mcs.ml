@@ -1,0 +1,68 @@
+module Simops = Dps_sthread.Simops
+module Sthread = Dps_sthread.Sthread
+module Alloc = Dps_sthread.Alloc
+
+type qnode = { qaddr : int; mutable locked : bool; mutable next : qnode option }
+
+type t = {
+  tail_addr : int;
+  mutable tail : qnode option;
+  qnodes : (int, qnode) Hashtbl.t;  (* logical thread id -> this thread's qnode *)
+  alloc : Alloc.t;
+}
+
+let create alloc = { tail_addr = Alloc.line alloc; tail = None; qnodes = Hashtbl.create 64; alloc }
+
+(* One queue node per (lock, thread); allocated lazily on the thread's own
+   NUMA node so the waiter's spinning is socket-local. *)
+let qnode_for t =
+  let tid = if Sthread.in_sim () then Sthread.self_id () else -1 in
+  match Hashtbl.find_opt t.qnodes tid with
+  | Some q -> q
+  | None ->
+      let q = { qaddr = Alloc.line t.alloc; locked = false; next = None } in
+      Hashtbl.add t.qnodes tid q;
+      q
+
+let acquire t =
+  let q = qnode_for t in
+  q.locked <- true;
+  q.next <- None;
+  Simops.write q.qaddr;
+  Simops.rmw t.tail_addr;
+  (* atomic swap of the tail pointer *)
+  let pred = t.tail in
+  t.tail <- Some q;
+  match pred with
+  | None -> ()
+  | Some p ->
+      p.next <- Some q;
+      Simops.write p.qaddr;
+      let b = Backoff.create ~initial:16 ~cap:2048 () in
+      while q.locked do
+        Simops.read q.qaddr;
+        if q.locked then Backoff.once b
+      done
+
+let release t =
+  let q = qnode_for t in
+  Simops.read q.qaddr;
+  match q.next with
+  | Some n ->
+      n.locked <- false;
+      Simops.write n.qaddr
+  | None -> (
+      (* try to swing tail back to empty *)
+      Simops.rmw t.tail_addr;
+      match t.tail with
+      | Some q' when q' == q -> t.tail <- None
+      | Some _ | None ->
+          (* a successor is between swap and link: wait for it to appear *)
+          while q.next = None do
+            Simops.read q.qaddr
+          done;
+          let n = Option.get q.next in
+          n.locked <- false;
+          Simops.write n.qaddr)
+
+let held t = t.tail <> None

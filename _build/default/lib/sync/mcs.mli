@@ -1,0 +1,13 @@
+(** MCS queue lock (Mellor-Crummey & Scott).
+
+    Waiters enqueue a node allocated on their own NUMA node and spin on it
+    locally; the releaser writes exactly one remote line to hand the lock
+    over. This is the lock used by the paper's microbenchmarks and by the
+    ParSec linked list inside DPS localities. *)
+
+type t
+
+val create : Dps_sthread.Alloc.t -> t
+val acquire : t -> unit
+val release : t -> unit
+val held : t -> bool

@@ -1,0 +1,40 @@
+module Simops = Dps_sthread.Simops
+
+type t = { addr : int; mutable version : int }
+
+let create alloc = { addr = Dps_sthread.Alloc.line alloc; version = 0 }
+let embed ~addr = { addr; version = 0 }
+
+let get_version t =
+  Simops.read t.addr;
+  t.version
+
+let is_locked v = v land 1 = 1
+
+let try_lock_at t v =
+  Simops.rmw t.addr;
+  if t.version = v && not (is_locked v) then begin
+    t.version <- v + 1;
+    true
+  end
+  else false
+
+let lock t =
+  let b = Backoff.create () in
+  let rec loop () =
+    let v = get_version t in
+    if is_locked v then begin
+      Backoff.once b;
+      loop ()
+    end
+    else if not (try_lock_at t v) then begin
+      Backoff.once b;
+      loop ()
+    end
+  in
+  loop ()
+
+let unlock t =
+  assert (is_locked t.version);
+  t.version <- t.version + 1;
+  Simops.write t.addr

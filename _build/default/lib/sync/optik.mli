@@ -1,0 +1,24 @@
+(** OPTIK version lock (Guerraoui & Trigonakis, PPoPP'16).
+
+    A counter that doubles as a lock: even = free, odd = held. Optimistic
+    sections read the version, run without locks, then [try_lock_at] both
+    validates that nothing changed and acquires in a single atomic step. *)
+
+type t
+
+val create : Dps_sthread.Alloc.t -> t
+val embed : addr:int -> t
+
+val get_version : t -> int
+(** Charged read of the current version (may be odd = locked). *)
+
+val is_locked : int -> bool
+
+val try_lock_at : t -> int -> bool
+(** [try_lock_at t v] atomically acquires iff the version still equals [v]
+    and is even. Failure means a conflicting update: restart the section. *)
+
+val lock : t -> unit
+(** Pessimistic acquisition (spin). *)
+
+val unlock : t -> unit

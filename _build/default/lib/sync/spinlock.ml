@@ -1,0 +1,36 @@
+module Simops = Dps_sthread.Simops
+
+type t = { addr : int; mutable locked : bool }
+
+let create alloc = { addr = Dps_sthread.Alloc.line alloc; locked = false }
+let embed ~addr = { addr; locked = false }
+
+let try_acquire t =
+  Simops.rmw t.addr;
+  if t.locked then false
+  else begin
+    t.locked <- true;
+    true
+  end
+
+let acquire t =
+  let b = Backoff.create () in
+  let rec loop () =
+    Simops.read t.addr;
+    if t.locked then begin
+      Backoff.once b;
+      loop ()
+    end
+    else if not (try_acquire t) then begin
+      Backoff.once b;
+      loop ()
+    end
+  in
+  loop ()
+
+let release t =
+  assert t.locked;
+  t.locked <- false;
+  Simops.write t.addr
+
+let held t = t.locked

@@ -1,0 +1,16 @@
+(** Test-and-test-and-set spinlock with exponential backoff.
+
+    The lock word occupies (or is embedded in) a simulated cache line, so
+    contended acquisition generates the coherence traffic the paper blames
+    for shared-memory scalability collapse. *)
+
+type t
+
+val create : Dps_sthread.Alloc.t -> t
+val embed : addr:int -> t
+(** Share a cache line with other data (e.g. a list node's line). *)
+
+val acquire : t -> unit
+val try_acquire : t -> bool
+val release : t -> unit
+val held : t -> bool

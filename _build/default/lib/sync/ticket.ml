@@ -1,0 +1,22 @@
+module Simops = Dps_sthread.Simops
+
+type t = { addr : int; mutable next : int; mutable owner : int }
+
+let create alloc = { addr = Dps_sthread.Alloc.line alloc; next = 0; owner = 0 }
+let embed ~addr = { addr; next = 0; owner = 0 }
+
+let acquire t =
+  Simops.rmw t.addr;
+  let my = t.next in
+  t.next <- my + 1;
+  let b = Backoff.create ~initial:16 ~cap:256 () in
+  while t.owner <> my do
+    Simops.read t.addr;
+    if t.owner <> my then Backoff.once b
+  done
+
+let release t =
+  t.owner <- t.owner + 1;
+  Simops.write t.addr
+
+let held t = t.owner < t.next

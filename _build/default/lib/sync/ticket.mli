@@ -1,0 +1,10 @@
+(** Ticket lock (FIFO). One cache line holds both counters, as in the
+    classic implementation, so waiters share a line with the releaser. *)
+
+type t
+
+val create : Dps_sthread.Alloc.t -> t
+val embed : addr:int -> t
+val acquire : t -> unit
+val release : t -> unit
+val held : t -> bool

@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Array Dps_machine Dps_simcore Dps_sthread Format

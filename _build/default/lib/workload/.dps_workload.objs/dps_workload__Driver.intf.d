@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Dps_sthread Format

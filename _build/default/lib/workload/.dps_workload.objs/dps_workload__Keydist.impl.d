@@ -1,0 +1,1 @@
+lib/workload/keydist.ml: Dps_simcore Float

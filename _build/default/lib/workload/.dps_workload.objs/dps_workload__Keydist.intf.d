@@ -1,0 +1,1 @@
+lib/workload/keydist.mli: Dps_simcore

@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Dps_simcore Keydist

@@ -1,0 +1,37 @@
+(** Benchmark driver: spawns measured client threads under the paper's
+    placement rule, runs them for a fixed window of simulated time, and
+    reports throughput, LLC misses per operation and latency percentiles —
+    the quantities on every figure's axes. *)
+
+type result = {
+  threads : int;
+  ops : int;
+  duration_cycles : int;
+  throughput_mops : float;  (** million operations per simulated second *)
+  llc_misses_per_op : float;
+  remote_misses_per_op : float;
+  mean_latency : float;  (** cycles *)
+  p50 : int;
+  p99 : int;
+  p999 : int;
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+val measure :
+  sched:Dps_sthread.Sthread.t ->
+  threads:int ->
+  ?placement:int array ->
+  duration:int ->
+  ?min_ops:int ->
+  ?prologue:(tid:int -> unit) ->
+  ?epilogue:(tid:int -> unit) ->
+  op:(tid:int -> step:int -> unit) ->
+  unit ->
+  result
+(** Spawn [threads] clients (placed by {!Dps_machine.Topology.placement}
+    unless [placement] is given). Each runs [prologue], then repeats [op]
+    while the simulated clock is below [duration] (and, if [min_ops] is
+    given, at least that many times — used when single operations are very
+    long), then [epilogue] (e.g. DPS drain). Latency is measured per [op]
+    call; machine counters are read as a delta around the run. *)

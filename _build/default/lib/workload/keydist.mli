@@ -1,0 +1,17 @@
+(** Key distributions for benchmark workloads.
+
+    [zipf] is YCSB's Zipfian generator (Gray et al.'s algorithm, the one the
+    paper uses via YCSB for the memcached study and for "skewed" data-
+    structure workloads); [scrambled] hashes the rank so hot keys spread
+    over the key space, as YCSB's ScrambledZipfian does. *)
+
+type t
+
+val uniform : range:int -> t
+val zipf : ?theta:float -> ?scrambled:bool -> range:int -> unit -> t
+(** [theta] defaults to YCSB's 0.99; [scrambled] defaults to [true]. *)
+
+val range : t -> int
+
+val sample : t -> Dps_simcore.Prng.t -> int
+(** A key in [0, range). *)

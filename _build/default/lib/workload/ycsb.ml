@@ -1,0 +1,48 @@
+module Prng = Dps_simcore.Prng
+
+type t = A | B | C | D | F
+type op = Read | Update | Insert | Read_modify_write
+
+let of_string = function
+  | "a" | "A" -> Some A
+  | "b" | "B" -> Some B
+  | "c" | "C" -> Some C
+  | "d" | "D" -> Some D
+  | "f" | "F" -> Some F
+  | _ -> None
+
+let to_string = function A -> "A" | B -> "B" | C -> "C" | D -> "D" | F -> "F"
+
+type gen = { kind : t; zipf : Keydist.t; latest : Keydist.t; mutable items : int }
+
+let make kind ~items =
+  assert (items > 0);
+  {
+    kind;
+    zipf = Keydist.zipf ~range:items ();
+    latest = Keydist.zipf ~scrambled:false ~range:(min items 4096) ();
+    items;
+  }
+
+let key_space g = g.items
+
+(* Workload D's "latest" distribution: zipfian over recency rank, so the
+   most recently inserted keys are the hottest. *)
+let latest_key g prng =
+  let rank = Keydist.sample g.latest prng in
+  g.items - 1 - rank
+
+let next g prng =
+  match g.kind with
+  | A -> ((if Prng.below prng 0.5 then Read else Update), Keydist.sample g.zipf prng)
+  | B -> ((if Prng.below prng 0.95 then Read else Update), Keydist.sample g.zipf prng)
+  | C -> (Read, Keydist.sample g.zipf prng)
+  | F ->
+      ((if Prng.below prng 0.5 then Read else Read_modify_write), Keydist.sample g.zipf prng)
+  | D ->
+      if Prng.below prng 0.05 then begin
+        let key = g.items in
+        g.items <- g.items + 1;
+        (Insert, key)
+      end
+      else (Read, max 0 (latest_key g prng))

@@ -1,0 +1,27 @@
+(** YCSB core workload presets (Cooper et al., SoCC'10 — the paper's trace
+    generator for the memcached study). Each preset fixes the operation mix
+    and the request distribution of the standard workloads A–D and F
+    (E is a scan workload, out of scope for a KV cache). *)
+
+type t = A  (** update heavy: 50% reads / 50% updates, zipfian *)
+       | B  (** read mostly: 95/5, zipfian *)
+       | C  (** read only, zipfian *)
+       | D  (** read latest: 95% reads / 5% inserts, recency-skewed *)
+       | F  (** read-modify-write: 50% reads / 50% RMW, zipfian *)
+
+type op = Read | Update | Insert | Read_modify_write
+
+val of_string : string -> t option
+val to_string : t -> string
+
+type gen
+
+val make : t -> items:int -> gen
+(** [items] is the initially loaded record count. *)
+
+val next : gen -> Dps_simcore.Prng.t -> op * int
+(** Draw one operation and its key. Inserts (workload D) extend the key
+    space; reads in D favour recently inserted keys. *)
+
+val key_space : gen -> int
+(** Current number of records (grows under workload D). *)

@@ -1,0 +1,1 @@
+test/test_adapters.ml: Alcotest Dps Dps_adapters Dps_ds Dps_machine Dps_simcore Dps_sthread Fun List Printf

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Dps_ds Dps_machine Dps_simcore Dps_sthread Int List Map

@@ -1,0 +1,1 @@
+test/test_dps.ml: Alcotest Array Dps Dps_ds Dps_machine Dps_sthread Fun List

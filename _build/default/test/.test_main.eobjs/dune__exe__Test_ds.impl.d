@@ -1,0 +1,1 @@
+test/test_ds.ml: Alcotest Array Dps_ds Dps_machine Dps_parsec Dps_simcore Dps_sthread Int Int64 List Map Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ffwd.ml: Alcotest Array Dps_ffwd Dps_machine Dps_sthread List Printf

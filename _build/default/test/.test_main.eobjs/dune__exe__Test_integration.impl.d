@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Dps Dps_ds Dps_ffwd Dps_machine Dps_simcore Dps_sthread Fun List Option

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Dps_machine Dps_simcore List Printf QCheck QCheck_alcotest

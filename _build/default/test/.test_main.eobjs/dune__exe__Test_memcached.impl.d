@@ -1,0 +1,1 @@
+test/test_memcached.ml: Alcotest Array Dps_machine Dps_memcached Dps_simcore Dps_sthread Fun Int64 List

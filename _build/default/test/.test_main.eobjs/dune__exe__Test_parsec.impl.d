@@ -1,0 +1,1 @@
+test/test_parsec.ml: Alcotest Dps_machine Dps_parsec Dps_sthread

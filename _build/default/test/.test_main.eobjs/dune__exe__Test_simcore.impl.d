@@ -1,0 +1,1 @@
+test/test_simcore.ml: Alcotest Dps_simcore Fun Gen Hashtbl List Printf QCheck QCheck_alcotest

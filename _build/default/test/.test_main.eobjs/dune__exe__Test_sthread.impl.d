@@ -1,0 +1,1 @@
+test/test_sthread.ml: Alcotest Buffer Dps_machine Dps_simcore Dps_sthread List Printf

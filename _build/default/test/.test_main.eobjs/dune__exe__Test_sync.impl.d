@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Array Dps_machine Dps_sthread Dps_sync List Printf

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dps_machine Dps_simcore Dps_sthread Dps_workload List Printf

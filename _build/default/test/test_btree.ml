@@ -1,0 +1,83 @@
+(* Focused tests for the B-link tree beyond the generic SET battery:
+   multi-level splits, link-chasing under concurrent splits, range order. *)
+
+module Machine = Dps_machine.Machine
+module Sthread = Dps_sthread.Sthread
+module Alloc = Dps_sthread.Alloc
+module Prng = Dps_simcore.Prng
+module B = Dps_ds.Btree_blink
+
+let fresh () =
+  let m = Machine.create Machine.config_default in
+  (Sthread.create m, Alloc.create m ~cold:Alloc.Spread)
+
+let test_multi_level_growth () =
+  let _, alloc = fresh () in
+  let t = B.create alloc in
+  (* force several levels of splits (order = 16) *)
+  for k = 1 to 5000 do
+    if not (B.insert t ~key:k ~value:(k * 2)) then Alcotest.failf "insert %d failed" k
+  done;
+  B.check_invariants t;
+  Alcotest.(check int) "all present" 5000 (List.length (B.to_list t));
+  for k = 1 to 5000 do
+    match B.lookup t k with
+    | Some v when v = 2 * k -> ()
+    | Some _ | None -> Alcotest.failf "lookup %d wrong" k
+  done
+
+let test_interleaved_insert_remove () =
+  let _, alloc = fresh () in
+  let t = B.create alloc in
+  let prng = Prng.create 21L in
+  let module M = Map.Make (Int) in
+  let model = ref M.empty in
+  for _ = 1 to 8000 do
+    let k = 1 + Prng.int prng 600 in
+    if Prng.bool prng then begin
+      let expected = not (M.mem k !model) in
+      if B.insert t ~key:k ~value:k <> expected then Alcotest.failf "insert %d" k;
+      if expected then model := M.add k k !model
+    end
+    else begin
+      let expected = M.mem k !model in
+      if B.remove t k <> expected then Alcotest.failf "remove %d" k;
+      if expected then model := M.remove k !model
+    end
+  done;
+  B.check_invariants t;
+  Alcotest.(check (list (pair int int))) "matches model" (M.bindings !model) (B.to_list t)
+
+let test_sorted_scan () =
+  let _, alloc = fresh () in
+  let t = B.create alloc in
+  let keys = [ 512; 3; 99; 1024; 47; 7; 2048; 300 ] in
+  List.iter (fun k -> ignore (B.insert t ~key:k ~value:k)) keys;
+  Alcotest.(check (list int)) "sorted leaf chain" (List.sort compare keys)
+    (List.map fst (B.to_list t))
+
+let test_concurrent_splits () =
+  (* many threads inserting dense ranges concurrently forces racing splits
+     and link-chasing *)
+  let sched, alloc = fresh () in
+  let t = B.create alloc in
+  let threads = 10 and per = 120 in
+  for tid = 0 to threads - 1 do
+    Sthread.spawn sched ~hw:(tid * 8 mod 80) (fun () ->
+        for i = 0 to per - 1 do
+          let key = 1 + (i * threads) + tid in
+          if not (B.insert t ~key ~value:key) then Alcotest.failf "concurrent insert %d" key
+        done)
+  done;
+  Sthread.run sched;
+  B.check_invariants t;
+  Alcotest.(check int) "all present after racing splits" (threads * per)
+    (List.length (B.to_list t))
+
+let suite =
+  [
+    ("multi-level growth", `Quick, test_multi_level_growth);
+    ("interleaved insert/remove", `Quick, test_interleaved_insert_remove);
+    ("sorted scan", `Quick, test_sorted_scan);
+    ("concurrent splits", `Quick, test_concurrent_splits);
+  ]

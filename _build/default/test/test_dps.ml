@@ -1,0 +1,313 @@
+(* Tests for the DPS runtime: partition mapping, local vs delegated
+   execution, peer serving, async mode, range operations, consistency. *)
+
+module Machine = Dps_machine.Machine
+module Topology = Dps_machine.Topology
+module Sthread = Dps_sthread.Sthread
+module Alloc = Dps_sthread.Alloc
+
+(* Per-partition toy structure: a plain counter array plus a record of which
+   hardware thread executed each operation. *)
+type part_data = {
+  node : int;
+  cells : int array;
+  mutable ops_run : int;
+  mutable hw_seen : int list;
+}
+
+let mk_sched () = Sthread.create (Machine.create Machine.config_default)
+
+let mk_dps ?(nclients = 20) ?(locality_size = 10) ?ring_slots sched =
+  Dps.create sched ~nclients ~locality_size
+    ~hash:(fun k -> k)
+    ?ring_slots
+    ~mk_data:(fun (info : Dps.partition_info) ->
+      { node = info.Dps.node; cells = Array.make 64 0; ops_run = 0; hw_seen = [] })
+    ()
+
+(* Spawn [nclients] client threads running [body tid]; every client attaches
+   first and drains at the end, so delegations always complete. *)
+let run_clients sched dps nclients body =
+  for c = 0 to nclients - 1 do
+    Sthread.spawn sched ~hw:(Dps.client_hw dps c) (fun () ->
+        Dps.attach dps ~client:c;
+        body c;
+        Dps.client_done dps;
+        Dps.drain dps)
+  done;
+  Sthread.run sched
+
+let bump cell (d : part_data) =
+  d.cells.(cell) <- d.cells.(cell) + 1;
+  d.ops_run <- d.ops_run + 1;
+  d.hw_seen <- Sthread.self_hw () :: d.hw_seen;
+  d.cells.(cell)
+
+let test_partition_mapping () =
+  let sched = mk_sched () in
+  let dps = mk_dps sched in
+  Alcotest.(check int) "2 partitions for 20 clients" 2 (Dps.npartitions dps);
+  Alcotest.(check int) "key 0 -> p0" 0 (Dps.partition_of_key dps 0);
+  Alcotest.(check int) "key 1 -> p1" 1 (Dps.partition_of_key dps 1);
+  Alcotest.(check int) "key 7 -> p1" 1 (Dps.partition_of_key dps 7);
+  (* partitions bound to distinct sockets, matching placement *)
+  let d0 = Dps.partition_data dps 0 and d1 = Dps.partition_data dps 1 in
+  Alcotest.(check int) "p0 on socket 0" 0 d0.node;
+  Alcotest.(check int) "p1 on socket 1" 1 d1.node
+
+let test_local_execution () =
+  let sched = mk_sched () in
+  let dps = mk_dps sched in
+  run_clients sched dps 20 (fun tid ->
+      (* client tid's own partition is tid/10; pick a key mapping there *)
+      let key = tid / 10 in
+      let v = Dps.call dps ~key (bump 3) in
+      Alcotest.(check bool) "counter grew" true (v >= 1));
+  Alcotest.(check int) "all ops local" 20 (Dps.local_ops dps);
+  Alcotest.(check int) "no delegation" 0 (Dps.delegated_ops dps);
+  let d0 = Dps.partition_data dps 0 and d1 = Dps.partition_data dps 1 in
+  Alcotest.(check int) "p0 ops" 10 d0.ops_run;
+  Alcotest.(check int) "p1 ops" 10 d1.ops_run
+
+let test_delegated_execution_runs_remotely () =
+  let sched = mk_sched () in
+  let dps = mk_dps sched in
+  let topo = Topology.default in
+  run_clients sched dps 20 (fun tid ->
+      (* every client targets the *other* partition *)
+      let key = 1 - (tid / 10) in
+      ignore (Dps.call dps ~key (bump 1)));
+  Alcotest.(check int) "all ops delegated" 20 (Dps.delegated_ops dps);
+  let d0 = Dps.partition_data dps 0 and d1 = Dps.partition_data dps 1 in
+  Alcotest.(check int) "p0 served 10" 10 d0.ops_run;
+  Alcotest.(check int) "p1 served 10" 10 d1.ops_run;
+  (* computation moved to the data: ops on partition p ran on p's socket *)
+  List.iter
+    (fun hw -> Alcotest.(check int) "p0 op on socket 0" 0 (Topology.socket_of_thread topo hw))
+    d0.hw_seen;
+  List.iter
+    (fun hw -> Alcotest.(check int) "p1 op on socket 1" 1 (Topology.socket_of_thread topo hw))
+    d1.hw_seen
+
+let test_call_returns_value () =
+  let sched = mk_sched () in
+  let dps = mk_dps sched in
+  let results = Array.make 20 0 in
+  run_clients sched dps 20 (fun tid ->
+      results.(tid) <- Dps.call dps ~key:1 (fun d -> 1000 + d.node));
+  Array.iter (fun v -> Alcotest.(check int) "value from partition 1" 1001 v) results
+
+let test_no_lost_updates_under_delegation () =
+  let sched = mk_sched () in
+  let dps = mk_dps sched in
+  let per = 30 in
+  run_clients sched dps 20 (fun _tid ->
+      for i = 1 to per do
+        ignore (Dps.call dps ~key:(i mod 4) (bump (i mod 4)))
+      done);
+  let total =
+    Array.fold_left ( + ) 0 (Dps.partition_data dps 0).cells
+    + Array.fold_left ( + ) 0 (Dps.partition_data dps 1).cells
+  in
+  Alcotest.(check int) "every op applied exactly once" (20 * per) total
+
+let test_async_applied_after_drain () =
+  let sched = mk_sched () in
+  let dps = mk_dps ~ring_slots:4 sched in
+  let per = 25 in
+  run_clients sched dps 20 (fun _tid ->
+      (* flood a small ring to exercise the full-ring path *)
+      for i = 1 to per do
+        Dps.execute_async dps ~key:(i mod 8) (fun d ->
+            d.ops_run <- d.ops_run + 1;
+            0)
+      done);
+  let total = (Dps.partition_data dps 0).ops_run + (Dps.partition_data dps 1).ops_run in
+  Alcotest.(check int) "every async applied" (20 * per) total
+
+let test_async_then_sync_ordering () =
+  (* Read-your-writes through a ring: an async write followed by a sync read
+     on the same partition must observe the write (FIFO rings). *)
+  let sched = mk_sched () in
+  let dps = mk_dps sched in
+  let ok = ref true in
+  run_clients sched dps 20 (fun tid ->
+      let key = 1 - (tid / 10) in
+      (* a remote partition *)
+      Dps.execute_async dps ~key (fun d ->
+          d.cells.(tid) <- tid + 100;
+          0);
+      let v = Dps.call dps ~key (fun d -> d.cells.(tid)) in
+      if v <> tid + 100 then ok := false);
+  Alcotest.(check bool) "read your writes" true !ok
+
+let test_execute_local () =
+  let sched = mk_sched () in
+  let dps = mk_dps sched in
+  let topo = Topology.default in
+  run_clients sched dps 20 (fun tid ->
+      let key = 1 - (tid / 10) in
+      let my_hw = Sthread.self_hw () in
+      let hw_ran =
+        Dps.execute_local dps ~key (fun _ -> Sthread.self_hw ())
+      in
+      Alcotest.(check int) "ran on caller core" my_hw hw_ran;
+      ignore (Topology.socket_of_thread topo my_hw));
+  Alcotest.(check int) "no delegations" 0 (Dps.delegated_ops dps)
+
+let test_range_operation () =
+  let sched = mk_sched () in
+  let dps = mk_dps sched in
+  (Dps.partition_data dps 0).cells.(0) <- 7;
+  (Dps.partition_data dps 1).cells.(0) <- 3;
+  let mins = Array.make 20 max_int in
+  run_clients sched dps 20 (fun tid ->
+      mins.(tid) <- Dps.range dps (fun d -> d.cells.(0)) ~merge:min);
+  Array.iter (fun v -> Alcotest.(check int) "min across partitions" 3 v) mins
+
+let test_try_await_eventually_completes () =
+  let sched = mk_sched () in
+  let dps = mk_dps sched in
+  run_clients sched dps 20 (fun tid ->
+      let key = 1 - (tid / 10) in
+      let c = Dps.execute dps ~key (fun d -> d.node) in
+      let rec spin n =
+        match Dps.try_await dps c with
+        | Some v -> (n, v)
+        | None -> spin (n + 1)
+      in
+      let _, v = spin 0 in
+      Alcotest.(check int) "right partition answered" (1 - (tid / 10)) v)
+
+let test_serve_counts () =
+  let sched = mk_sched () in
+  let dps = mk_dps sched in
+  run_clients sched dps 20 (fun tid ->
+      if tid < 10 then ignore (Dps.call dps ~key:1 (bump 0))
+      else begin
+        Sthread.work 5_000;
+        (* explicitly serve whatever remains pending for my partition *)
+        ignore (Dps.serve dps ~max:100)
+      end);
+  Alcotest.(check int) "10 delegations" 10 (Dps.delegated_ops dps);
+  Alcotest.(check int) "all executed" 10 (Dps.partition_data dps 1).ops_run
+
+let test_unattached_rejected () =
+  let sched = mk_sched () in
+  let dps = mk_dps sched in
+  Sthread.spawn sched ~hw:0 (fun () -> ignore (Dps.call dps ~key:0 (fun _ -> 0)));
+  Alcotest.check_raises "unattached" (Failure "Dps: thread not attached") (fun () ->
+      Sthread.run sched)
+
+let test_deterministic () =
+  let run_once () =
+    let sched = mk_sched () in
+    let dps = mk_dps sched in
+    run_clients sched dps 20 (fun tid ->
+        for i = 1 to 10 do
+          ignore (Dps.call dps ~key:((tid + i) mod 8) (bump ((tid + i) mod 16)))
+        done);
+    Sthread.now sched
+  in
+  Alcotest.(check int) "same end time" (run_once ()) (run_once ())
+
+let test_four_partitions () =
+  let sched = mk_sched () in
+  let dps = mk_dps ~nclients:40 sched in
+  Alcotest.(check int) "4 partitions" 4 (Dps.npartitions dps);
+  run_clients sched dps 40 (fun tid ->
+      for i = 0 to 7 do
+        ignore (Dps.call dps ~key:i (bump (tid mod 64)))
+      done);
+  let total = ref 0 in
+  for p = 0 to 3 do
+    total := !total + (Dps.partition_data dps p).ops_run
+  done;
+  Alcotest.(check int) "all ops applied" (40 * 8) !total
+
+let test_rebalance_moves_bucket () =
+  let module H = Dps_ds.Hashtable in
+  let sched = mk_sched () in
+  let dps =
+    Dps.create sched ~nclients:20 ~locality_size:10 ~hash:Fun.id ~ns_sz:32
+      ~mk_data:(fun (info : Dps.partition_info) -> H.create info.Dps.alloc)
+      ()
+  in
+  let keys = [ 3; 35; 67; 99 ] in
+  (* all in bucket 3 (key mod 32) *)
+  let bucket = 3 in
+  let moved_ok = ref false in
+  for c = 0 to 19 do
+    Sthread.spawn sched ~hw:(Dps.client_hw dps c) (fun () ->
+        Dps.attach dps ~client:c;
+        if c = 0 then begin
+          let from = Dps.bucket_owner dps ~bucket in
+          let to_ = 1 - from in
+          List.iter
+            (fun key -> ignore (Dps.call dps ~key (fun h -> if H.insert h ~key ~value:(key * 3) then 1 else 0)))
+            keys;
+          Dps.rebalance dps ~bucket ~to_
+            ~extract:(fun h b ->
+              List.filter_map
+                (fun key ->
+                  if Dps.bucket_of_key dps key = b then
+                    match H.lookup h key with
+                    | Some v ->
+                        ignore (H.remove h key);
+                        Some (key, v)
+                    | None -> None
+                  else None)
+                keys)
+            ~insert:(fun h ~key ~value -> ignore (H.insert h ~key ~value));
+          (* the bucket's keys survive the move and route to the new owner *)
+          let all_found =
+            List.for_all
+              (fun key -> Dps.call dps ~key (fun h -> match H.lookup h key with Some v -> v | None -> -1) = key * 3)
+              keys
+          in
+          moved_ok := all_found && Dps.bucket_owner dps ~bucket = to_
+        end;
+        Dps.client_done dps;
+        Dps.drain dps)
+  done;
+  Sthread.run sched;
+  Alcotest.(check bool) "bucket moved with its keys" true !moved_ok
+
+(* §3.3: "a thread that writes two values will see (read) those writes in
+   order" — monotonic writes through one FIFO ring. *)
+let test_monotonic_writes () =
+  let sched = mk_sched () in
+  let dps = mk_dps sched in
+  let violations = ref 0 in
+  run_clients sched dps 20 (fun tid ->
+      let key = 1 - (tid / 10) in
+      (* remote partition *)
+      for v = 1 to 10 do
+        Dps.execute_async dps ~key (fun d ->
+            d.cells.(tid) <- (tid * 1000) + v;
+            0)
+      done;
+      (* a synchronous read behind the ten async writes must see the last *)
+      let got = Dps.call dps ~key (fun d -> d.cells.(tid)) in
+      if got <> (tid * 1000) + 10 then incr violations);
+  Alcotest.(check int) "writes observed in order" 0 !violations
+
+let suite =
+  [
+    ("partition mapping", `Quick, test_partition_mapping);
+    ("monotonic writes", `Quick, test_monotonic_writes);
+    ("rebalance moves bucket", `Quick, test_rebalance_moves_bucket);
+    ("local execution", `Quick, test_local_execution);
+    ("delegation runs remotely", `Quick, test_delegated_execution_runs_remotely);
+    ("call returns value", `Quick, test_call_returns_value);
+    ("no lost updates", `Quick, test_no_lost_updates_under_delegation);
+    ("async applied after drain", `Quick, test_async_applied_after_drain);
+    ("async then sync ordering", `Quick, test_async_then_sync_ordering);
+    ("execute_local", `Quick, test_execute_local);
+    ("range operation", `Quick, test_range_operation);
+    ("try_await completes", `Quick, test_try_await_eventually_completes);
+    ("serve counts", `Quick, test_serve_counts);
+    ("unattached rejected", `Quick, test_unattached_rejected);
+    ("deterministic", `Quick, test_deterministic);
+    ("four partitions", `Quick, test_four_partitions);
+  ]

@@ -1,0 +1,120 @@
+(* Tests for the ffwd delegation baseline. *)
+
+module Machine = Dps_machine.Machine
+module Topology = Dps_machine.Topology
+module Sthread = Dps_sthread.Sthread
+module Ffwd = Dps_ffwd.Ffwd
+
+let mk_sched () = Sthread.create (Machine.create Machine.config_default)
+
+(* Clients on sockets 1..3; the server owns hw 0 (socket 0). *)
+let client_hw i = 20 + (2 * i mod 60)
+
+let test_ops_run_on_server () =
+  let sched = mk_sched () in
+  let nclients = 8 in
+  let f = Ffwd.create sched ~server_hw:[| 0 |] ~clients:nclients in
+  let hw_seen = ref [] in
+  for c = 0 to nclients - 1 do
+    Sthread.spawn sched ~hw:(client_hw c) (fun () ->
+        Ffwd.attach f ~client:c;
+        let v =
+          Ffwd.call f ~server:0 (fun () ->
+              hw_seen := Sthread.self_hw () :: !hw_seen;
+              42)
+        in
+        Alcotest.(check int) "reply value" 42 v;
+        Ffwd.client_done f)
+  done;
+  Sthread.run sched;
+  Alcotest.(check int) "every op executed" nclients (List.length !hw_seen);
+  List.iter (fun hw -> Alcotest.(check int) "on server hw" 0 hw) !hw_seen
+
+let test_serialization_no_lost_updates () =
+  let sched = mk_sched () in
+  let nclients = 12 and per = 40 in
+  let f = Ffwd.create sched ~server_hw:[| 0 |] ~clients:nclients in
+  (* deliberately unsynchronized counter: only server serialization protects it *)
+  let counter = ref 0 in
+  for c = 0 to nclients - 1 do
+    Sthread.spawn sched ~hw:(client_hw c) (fun () ->
+        Ffwd.attach f ~client:c;
+        for _ = 1 to per do
+          ignore
+            (Ffwd.call f ~server:0 (fun () ->
+                 let v = !counter in
+                 Sthread.work 20;
+                 counter := v + 1;
+                 v))
+        done;
+        Ffwd.client_done f)
+  done;
+  Sthread.run sched;
+  Alcotest.(check int) "server serialized all updates" (nclients * per) !counter
+
+let test_multiple_servers_shard () =
+  let sched = mk_sched () in
+  let nclients = 8 in
+  (* four servers, one per socket, as the paper's ffwd-s4 *)
+  let server_hw = [| 0; 20; 40; 60 |] in
+  let f = Ffwd.create sched ~server_hw ~clients:nclients in
+  Alcotest.(check int) "4 servers" 4 (Ffwd.nservers f);
+  let per_server = Array.make 4 0 in
+  for c = 0 to nclients - 1 do
+    Sthread.spawn sched ~hw:(client_hw c) (fun () ->
+        Ffwd.attach f ~client:c;
+        for k = 0 to 11 do
+          let shard = k mod 4 in
+          ignore
+            (Ffwd.call f ~server:shard (fun () ->
+                 per_server.(shard) <- per_server.(shard) + 1;
+                 Topology.socket_of_thread Topology.default (Sthread.self_hw ())))
+        done;
+        Ffwd.client_done f)
+  done;
+  Sthread.run sched;
+  Array.iteri
+    (fun i n -> Alcotest.(check int) (Printf.sprintf "server %d ops" i) (nclients * 3) n)
+    per_server
+
+let test_response_batching () =
+  let sched = mk_sched () in
+  let nclients = 10 in
+  let f = Ffwd.create sched ~server_hw:[| 0 |] ~clients:nclients in
+  for c = 0 to nclients - 1 do
+    Sthread.spawn sched ~hw:(client_hw c) (fun () ->
+        Ffwd.attach f ~client:c;
+        for _ = 1 to 10 do
+          ignore (Ffwd.call f ~server:0 (fun () -> 0))
+        done;
+        Ffwd.client_done f)
+  done;
+  Sthread.run sched;
+  let batches = Ffwd.server_batches f in
+  Alcotest.(check bool) "batching active" true (batches > 0);
+  (* 100 ops in <= 100 batches; with 10 concurrent clients in one group it
+     must batch at least sometimes *)
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer batches than ops (%d)" batches)
+    true (batches < 100)
+
+let test_servers_terminate () =
+  let sched = mk_sched () in
+  let f = Ffwd.create sched ~server_hw:[| 0; 20 |] ~clients:2 in
+  for c = 0 to 1 do
+    Sthread.spawn sched ~hw:(client_hw c) (fun () ->
+        Ffwd.attach f ~client:c;
+        ignore (Ffwd.call f ~server:c (fun () -> c));
+        Ffwd.client_done f)
+  done;
+  Sthread.run sched;
+  Alcotest.(check int) "all threads exited" 0 (Sthread.live_threads sched)
+
+let suite =
+  [
+    ("ops run on server", `Quick, test_ops_run_on_server);
+    ("serialization, no lost updates", `Quick, test_serialization_no_lost_updates);
+    ("multiple servers shard", `Quick, test_multiple_servers_shard);
+    ("response batching", `Quick, test_response_batching);
+    ("servers terminate", `Quick, test_servers_terminate);
+  ]

@@ -1,0 +1,200 @@
+(* Integration tests: full stacks, as the benchmarks use them — a concurrent
+   set partitioned behind DPS, and sharded behind ffwd — checked with the
+   same per-key accounting as the plain structures. *)
+
+module Machine = Dps_machine.Machine
+module Sthread = Dps_sthread.Sthread
+module Prng = Dps_simcore.Prng
+module Ffwd = Dps_ffwd.Ffwd
+
+module type SET = Dps_ds.Set_intf.SET
+
+let dps_structures : (module SET) list =
+  [ (module Dps_ds.Ll_lazy); (module Dps_ds.Bst_tk); (module Dps_ds.Sl_fraser); (module Dps_ds.Hashtable) ]
+
+let dps_set_conflict (module S : SET) () =
+  let m = Machine.create Machine.config_default in
+  let sched = Sthread.create m in
+  let nclients = 20 in
+  let dps =
+    Dps.create sched ~nclients ~locality_size:10 ~hash:Fun.id
+      ~mk_data:(fun (info : Dps.partition_info) -> S.create info.Dps.alloc)
+      ()
+  in
+  let key_range = 32 in
+  let ins = Array.make (key_range + 1) 0 and rem = Array.make (key_range + 1) 0 in
+  for c = 0 to nclients - 1 do
+    Sthread.spawn sched ~hw:(Dps.client_hw dps c) (fun () ->
+        Dps.attach dps ~client:c;
+        let p = Sthread.self_prng () in
+        for _ = 1 to 40 do
+          let key = 1 + Prng.int p key_range in
+          if Prng.bool p then begin
+            if Dps.call dps ~key (fun s -> if S.insert s ~key ~value:key then 1 else 0) = 1 then
+              ins.(key) <- ins.(key) + 1
+          end
+          else if Dps.call dps ~key (fun s -> if S.remove s key then 1 else 0) = 1 then
+            rem.(key) <- rem.(key) + 1
+        done;
+        Dps.client_done dps;
+        Dps.drain dps)
+  done;
+  Sthread.run sched;
+  (* merge partitions and check per-key balance *)
+  let contents = ref [] in
+  for pid = 0 to Dps.npartitions dps - 1 do
+    let part = Dps.partition_data dps pid in
+    S.check_invariants part;
+    contents := S.to_list part @ !contents
+  done;
+  for key = 1 to key_range do
+    let present = List.mem_assoc key !contents in
+    let balance = ins.(key) - rem.(key) in
+    if balance < 0 || balance > 1 then
+      Alcotest.failf "%s/dps: key %d balance %d" S.name key balance;
+    if (balance = 1) <> present then
+      Alcotest.failf "%s/dps: key %d balance %d but present=%b" S.name key balance present
+  done;
+  (* partitioning respected: key k only ever in partition k mod n *)
+  for pid = 0 to Dps.npartitions dps - 1 do
+    List.iter
+      (fun (k, _) ->
+        if Dps.partition_of_key dps k <> pid then
+          Alcotest.failf "%s/dps: key %d leaked into partition %d" S.name k pid)
+      (S.to_list (Dps.partition_data dps pid))
+  done
+
+let ffwd_set_conflict () =
+  let module S = Dps_ds.Ll_lazy in
+  let m = Machine.create Machine.config_default in
+  let sched = Sthread.create m in
+  let nclients = 12 and servers = 4 in
+  let topo = Machine.topology m in
+  let server_hw = Array.init servers (fun i -> i * 20) in
+  let shards =
+    Array.map
+      (fun hw ->
+        S.create
+          (Dps_sthread.Alloc.create m
+             ~cold:(Dps_sthread.Alloc.Node (Dps_machine.Topology.socket_of_thread topo hw))))
+      server_hw
+  in
+  let f = Ffwd.create sched ~server_hw ~clients:nclients in
+  let key_range = 32 in
+  let ins = Array.make (key_range + 1) 0 and rem = Array.make (key_range + 1) 0 in
+  for c = 0 to nclients - 1 do
+    Sthread.spawn sched ~hw:(2 + (c * 6 mod 78)) (fun () ->
+        Ffwd.attach f ~client:c;
+        let p = Sthread.self_prng () in
+        for _ = 1 to 30 do
+          let key = 1 + Prng.int p key_range in
+          let shard = key mod servers in
+          if Prng.bool p then begin
+            if Ffwd.call f ~server:shard (fun () -> if S.insert shards.(shard) ~key ~value:key then 1 else 0) = 1
+            then ins.(key) <- ins.(key) + 1
+          end
+          else if Ffwd.call f ~server:shard (fun () -> if S.remove shards.(shard) key then 1 else 0) = 1
+          then rem.(key) <- rem.(key) + 1
+        done;
+        Ffwd.client_done f)
+  done;
+  Sthread.run sched;
+  let contents = Array.to_list shards |> List.concat_map S.to_list in
+  Array.iter S.check_invariants shards;
+  for key = 1 to key_range do
+    let present = List.mem_assoc key contents in
+    let balance = ins.(key) - rem.(key) in
+    if balance < 0 || balance > 1 then Alcotest.failf "ffwd: key %d balance %d" key balance;
+    if (balance = 1) <> present then Alcotest.failf "ffwd: key %d presence mismatch" key
+  done
+
+(* DPS-wrapped priority queue with range-based findMin, as in §3.4/§5.2. *)
+let dps_priority_queue () =
+  let module Pq = Dps_ds.Pq_shavit in
+  let m = Machine.create Machine.config_default in
+  let sched = Sthread.create m in
+  let nclients = 20 in
+  let dps =
+    Dps.create sched ~nclients ~locality_size:10 ~hash:Fun.id
+      ~mk_data:(fun (info : Dps.partition_info) -> Pq.create info.Dps.alloc)
+      ()
+  in
+  let inserted = ref 0 and popped = ref [] in
+  for c = 0 to nclients - 1 do
+    Sthread.spawn sched ~hw:(Dps.client_hw dps c) (fun () ->
+        Dps.attach dps ~client:c;
+        for i = 0 to 9 do
+          let key = 1 + (c * 10) + i in
+          ignore (Dps.call dps ~key (fun pq -> if Pq.insert pq ~key ~value:key then 1 else 0));
+          incr inserted;
+          if i mod 2 = 1 then begin
+            (* findMin across partitions, then removeMin from the winner *)
+            let k =
+              Dps.range dps
+                (fun pq -> match Pq.find_min pq with Some (k, _) -> k | None -> max_int)
+                ~merge:min
+            in
+            if k < max_int then begin
+              let got =
+                Dps.call dps ~key:k (fun pq ->
+                    match Pq.remove_min pq with Some (k', _) -> k' | None -> -1)
+              in
+              if got >= 0 then popped := got :: !popped
+            end
+          end
+        done;
+        Dps.client_done dps;
+        Dps.drain dps)
+  done;
+  Sthread.run sched;
+  let remaining = ref [] in
+  for pid = 0 to Dps.npartitions dps - 1 do
+    remaining := List.map fst (Pq.to_list (Dps.partition_data dps pid)) @ !remaining
+  done;
+  let all = List.sort compare (!popped @ !remaining) in
+  Alcotest.(check (list int)) "popped + remaining = inserted"
+    (List.init !inserted (fun i -> i + 1))
+    all
+
+(* Consistency: §3.3 read-your-writes through DPS with one partition per
+   key — a client's own write is visible to its immediate read. *)
+let dps_read_your_writes () =
+  let m = Machine.create Machine.config_default in
+  let sched = Sthread.create m in
+  let nclients = 20 in
+  let module H = Dps_ds.Hashtable in
+  let dps =
+    Dps.create sched ~nclients ~locality_size:10 ~hash:Fun.id
+      ~mk_data:(fun (info : Dps.partition_info) -> H.create info.Dps.alloc)
+      ()
+  in
+  let violations = ref 0 in
+  for c = 0 to nclients - 1 do
+    Sthread.spawn sched ~hw:(Dps.client_hw dps c) (fun () ->
+        Dps.attach dps ~client:c;
+        for i = 1 to 20 do
+          let key = (c * 100) + i in
+          let v = i * 7 in
+          ignore
+            (Dps.call dps ~key (fun h ->
+                 if not (H.insert h ~key ~value:v) then ignore (H.update h ~key ~value:v);
+                 0));
+          let got = Dps.call dps ~key (fun h -> Option.value ~default:(-1) (H.lookup h key)) in
+          if got <> v then incr violations
+        done;
+        Dps.client_done dps;
+        Dps.drain dps)
+  done;
+  Sthread.run sched;
+  Alcotest.(check int) "read your writes" 0 !violations
+
+let suite =
+  List.map
+    (fun (module S : SET) ->
+      (S.name ^ " behind DPS, conflicting ops", `Quick, dps_set_conflict (module S)))
+    dps_structures
+  @ [
+      ("lazy list behind ffwd-s4", `Quick, ffwd_set_conflict);
+      ("priority queue behind DPS range ops", `Quick, dps_priority_queue);
+      ("read-your-writes through DPS", `Quick, dps_read_your_writes);
+    ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "dps-repro"
+    [
+      ("simcore", Test_simcore.suite);
+      ("machine", Test_machine.suite);
+      ("sthread", Test_sthread.suite);
+      ("sync", Test_sync.suite);
+      ("ds", Test_ds.suite);
+      ("dps", Test_dps.suite);
+      ("ffwd", Test_ffwd.suite);
+      ("workload", Test_workload.suite);
+      ("memcached", Test_memcached.suite);
+      ("integration", Test_integration.suite);
+      ("adapters", Test_adapters.suite);
+      ("parsec", Test_parsec.suite);
+      ("btree", Test_btree.suite);
+    ]

@@ -1,0 +1,198 @@
+(* Tests for the memcached substrate (slab, LRU, hash, core) and the five
+   paper variants. *)
+
+module Machine = Dps_machine.Machine
+module Sthread = Dps_sthread.Sthread
+module Alloc = Dps_sthread.Alloc
+module Prng = Dps_simcore.Prng
+module Slab = Dps_memcached.Slab
+module Lru = Dps_memcached.Lru
+module Item = Dps_memcached.Item
+module Mc_hash = Dps_memcached.Mc_hash
+module Mc_core = Dps_memcached.Mc_core
+module Variants = Dps_memcached.Variants
+
+let fresh () =
+  let m = Machine.create Machine.config_default in
+  (Sthread.create m, Alloc.create m ~cold:Alloc.Spread)
+
+let test_slab_reuse () =
+  let _, alloc = fresh () in
+  let s = Slab.create alloc in
+  let a = Slab.allocate s ~lines:3 in
+  Slab.free s ~base:a ~lines:3;
+  Alcotest.(check int) "one free chunk" 1 (Slab.free_chunks s);
+  let b = Slab.allocate s ~lines:3 in
+  Alcotest.(check int) "chunk reused" a b;
+  Alcotest.(check int) "free list drained" 0 (Slab.free_chunks s)
+
+let test_slab_size_classes () =
+  let _, alloc = fresh () in
+  let s = Slab.create alloc in
+  let a = Slab.allocate s ~lines:3 in
+  Slab.free s ~base:a ~lines:3;
+  (* a request of 5 lines is a different class; must not reuse the chunk *)
+  let b = Slab.allocate s ~lines:5 in
+  Alcotest.(check bool) "different class" true (a <> b);
+  Alcotest.(check int) "class-3 chunk still free" 1 (Slab.free_chunks s)
+
+let mk_item alloc key =
+  Item.make ~key ~haddr:(Alloc.line alloc) ~val_base:(Alloc.lines alloc 2) ~val_lines:2
+
+let test_lru_order () =
+  let _, alloc = fresh () in
+  let l = Lru.create alloc in
+  let items = Array.init 4 (fun i -> mk_item alloc i) in
+  Array.iter (Lru.insert l) items;
+  Alcotest.(check int) "count" 4 (Lru.count l);
+  (* 0 is oldest *)
+  (match Lru.pop_tail l with
+  | Some it -> Alcotest.(check int) "tail is first inserted" 0 it.Item.key
+  | None -> Alcotest.fail "empty");
+  (* touch 1 so 2 becomes the victim *)
+  Lru.touch l items.(1);
+  (match Lru.pop_tail l with
+  | Some it -> Alcotest.(check int) "tail after touch" 2 it.Item.key
+  | None -> Alcotest.fail "empty");
+  Lru.remove l items.(3);
+  Alcotest.(check int) "count after remove" 1 (Lru.count l)
+
+let test_mc_hash () =
+  let _, alloc = fresh () in
+  let h = Mc_hash.create alloc ~buckets:64 in
+  let items = List.init 200 (fun i -> mk_item alloc i) in
+  List.iter (Mc_hash.insert h) items;
+  for i = 0 to 199 do
+    match Mc_hash.find h i with
+    | Some it -> Alcotest.(check int) "found" i it.Item.key
+    | None -> Alcotest.failf "missing key %d" i
+  done;
+  Alcotest.(check bool) "absent key" true (Mc_hash.find h 999 = None);
+  (match Mc_hash.remove h 77 with
+  | Some it -> Alcotest.(check int) "removed key" 77 it.Item.key
+  | None -> Alcotest.fail "remove failed");
+  Alcotest.(check bool) "gone" true (Mc_hash.find h 77 = None);
+  Alcotest.(check bool) "nolock find" true (Mc_hash.find_nolock h 42 <> None)
+
+let test_core_get_set () =
+  let _, alloc = fresh () in
+  let c = Mc_core.create alloc ~buckets:64 ~capacity:100 ~recency:Mc_core.Lru_list in
+  Alcotest.(check bool) "miss" false (Mc_core.get c 1);
+  Mc_core.set c ~key:1 ~val_lines:2;
+  Alcotest.(check bool) "hit" true (Mc_core.get c 1);
+  Alcotest.(check int) "size" 1 (Mc_core.size c);
+  Mc_core.set c ~key:1 ~val_lines:2;
+  Alcotest.(check int) "update keeps size" 1 (Mc_core.size c);
+  Alcotest.(check bool) "delete" true (Mc_core.delete c 1);
+  Alcotest.(check bool) "after delete" false (Mc_core.get c 1);
+  Alcotest.(check bool) "double delete" false (Mc_core.delete c 1)
+
+let test_core_eviction_lru () =
+  let _, alloc = fresh () in
+  let c = Mc_core.create alloc ~buckets:64 ~capacity:10 ~recency:Mc_core.Lru_list in
+  for k = 1 to 15 do
+    Mc_core.set c ~key:k ~val_lines:2
+  done;
+  Alcotest.(check int) "bounded" 10 (Mc_core.size c);
+  Alcotest.(check int) "evictions counted" 5 (Mc_core.evictions c);
+  (* oldest keys evicted *)
+  Alcotest.(check bool) "key 1 gone" false (Mc_core.get c 1);
+  Alcotest.(check bool) "key 15 present" true (Mc_core.get c 15)
+
+let test_core_eviction_clock () =
+  let _, alloc = fresh () in
+  let c = Mc_core.create alloc ~buckets:64 ~capacity:10 ~recency:Mc_core.Clock in
+  for k = 1 to 25 do
+    Mc_core.set c ~key:k ~val_lines:2
+  done;
+  Alcotest.(check int) "bounded" 10 (Mc_core.size c);
+  Alcotest.(check bool) "recent key present" true (Mc_core.get c 25)
+
+let test_core_hit_rate () =
+  let _, alloc = fresh () in
+  let c = Mc_core.create alloc ~buckets:64 ~capacity:100 ~recency:Mc_core.Clock in
+  Mc_core.set c ~key:5 ~val_lines:1;
+  ignore (Mc_core.get c 5);
+  ignore (Mc_core.get c 6);
+  Alcotest.(check (float 0.001)) "hit rate" 0.5 (Mc_core.hit_rate c)
+
+(* Each variant must behave like a cache: populated keys hit, sets visible
+   after a barrier, concurrent clients don't corrupt it. *)
+let exercise_variant name mk =
+  let m = Machine.create Machine.config_default in
+  let sched = Sthread.create m in
+  let nclients = 20 in
+  let v : Variants.t = mk sched nclients in
+  Alcotest.(check string) "variant name" name v.Variants.name;
+  let keys = Array.init 200 (fun i -> i) in
+  v.Variants.populate ~keys ~val_lines:2;
+  let hits = ref 0 and total = ref 0 in
+  for c = 0 to nclients - 1 do
+    Sthread.spawn sched ~hw:(v.Variants.client_hw c) (fun () ->
+        v.Variants.attach c;
+        let p = Sthread.self_prng () in
+        for _ = 1 to 25 do
+          let key = Prng.int p 200 in
+          if Prng.below p 0.2 then v.Variants.set ~key ~val_lines:2
+          else begin
+            incr total;
+            if v.Variants.get key then incr hits
+          end
+        done;
+        v.Variants.finish ())
+  done;
+  Sthread.run sched;
+  (* all 200 keys stay resident (capacity 1000): everything hits *)
+  Alcotest.(check int) (name ^ " all gets hit") !total !hits
+
+let variant_case name mk = (name ^ " variant", `Quick, fun () -> exercise_variant name mk)
+
+(* Partitioned eviction: a DPS cache at tiny capacity must evict per
+   partition, keep its size bounded, and still answer hot gets. *)
+let test_dps_eviction () =
+  let m = Machine.create Machine.config_default in
+  let sched = Sthread.create m in
+  let nclients = 20 in
+  let capacity = 64 in
+  let v = Variants.dps_mc sched ~nclients ~locality_size:10 ~buckets:64 ~capacity in
+  v.Variants.populate ~keys:(Array.init 256 Fun.id) ~val_lines:1;
+  let hits = ref 0 and gets = ref 0 in
+  for c = 0 to nclients - 1 do
+    Sthread.spawn sched ~hw:(v.Variants.client_hw c) (fun () ->
+        v.Variants.attach c;
+        let p = Prng.create (Int64.of_int (100 + c)) in
+        for _ = 1 to 30 do
+          let key = Prng.int p 512 in
+          if Prng.below p 0.5 then v.Variants.set ~key ~val_lines:1
+          else begin
+            incr gets;
+            if v.Variants.get key then incr hits
+          end
+        done;
+        v.Variants.finish ())
+  done;
+  Sthread.run sched;
+  Alcotest.(check bool) "some hits" true (!hits > 0);
+  Alcotest.(check bool) "some misses (evictions happened)" true (!hits < !gets)
+
+let suite =
+  [
+    ("slab reuse", `Quick, test_slab_reuse);
+    ("slab size classes", `Quick, test_slab_size_classes);
+    ("lru order", `Quick, test_lru_order);
+    ("mc hash", `Quick, test_mc_hash);
+    ("core get/set", `Quick, test_core_get_set);
+    ("core eviction lru", `Quick, test_core_eviction_lru);
+    ("core eviction clock", `Quick, test_core_eviction_clock);
+    ("core hit rate", `Quick, test_core_hit_rate);
+    ("dps eviction bounded", `Quick, test_dps_eviction);
+    variant_case "stock" (fun sched n -> Variants.stock sched ~nclients:n ~buckets:256 ~capacity:1000);
+    variant_case "parsec" (fun sched n ->
+        Variants.parsec sched ~nclients:n ~buckets:256 ~capacity:1000);
+    variant_case "ffwd" (fun sched n ->
+        Variants.ffwd_mc sched ~nclients:n ~buckets:256 ~capacity:1000);
+    variant_case "dps" (fun sched n ->
+        Variants.dps_mc sched ~nclients:n ~locality_size:10 ~buckets:256 ~capacity:1000);
+    variant_case "dps-parsec" (fun sched n ->
+        Variants.dps_parsec sched ~nclients:n ~locality_size:10 ~buckets:256 ~capacity:1000);
+  ]

@@ -1,0 +1,81 @@
+(* Tests for the ParSec runtime (quiescence) and the ParSec list's
+   reclamation-safety property. *)
+
+module Machine = Dps_machine.Machine
+module Sthread = Dps_sthread.Sthread
+module Alloc = Dps_sthread.Alloc
+module Parsec = Dps_parsec.Parsec
+
+let fresh () =
+  let m = Machine.create Machine.config_default in
+  (Sthread.create m, Alloc.create m ~cold:Alloc.Spread)
+
+let test_quiesce_waits_for_readers () =
+  let sched, alloc = fresh () in
+  let rt = Parsec.create alloc in
+  let reader_exit_at = ref 0 and quiesce_done_at = ref 0 in
+  Sthread.spawn sched ~hw:0 (fun () ->
+      Parsec.enter rt;
+      Sthread.work 20_000;
+      Parsec.exit rt;
+      reader_exit_at := Sthread.time ());
+  Sthread.spawn sched ~hw:20 (fun () ->
+      Sthread.work 100;
+      Parsec.quiesce rt;
+      quiesce_done_at := Sthread.time ());
+  Sthread.run sched;
+  Alcotest.(check bool) "grace period covers the reader" true
+    (!quiesce_done_at >= !reader_exit_at)
+
+let test_quiesce_ignores_later_readers () =
+  (* a reader that enters *after* quiesce starts must not block it *)
+  let sched, alloc = fresh () in
+  let rt = Parsec.create alloc in
+  let done_at = ref 0 in
+  Sthread.spawn sched ~hw:0 (fun () ->
+      Parsec.quiesce rt;
+      done_at := Sthread.time ());
+  Sthread.spawn sched ~hw:20 (fun () ->
+      Sthread.work 500;
+      Parsec.enter rt;
+      Sthread.work 100_000;
+      Parsec.exit rt);
+  Sthread.run sched;
+  Alcotest.(check bool) "did not wait for the late reader" true (!done_at < 50_000)
+
+let test_active_readers () =
+  let sched, alloc = fresh () in
+  let rt = Parsec.create alloc in
+  let seen = ref (-1) in
+  Sthread.spawn sched ~hw:0 (fun () ->
+      Parsec.enter rt;
+      seen := Parsec.active_readers rt;
+      Parsec.exit rt);
+  Sthread.run sched;
+  Alcotest.(check int) "one active inside" 1 !seen;
+  Alcotest.(check int) "none after" 0 (Parsec.active_readers rt)
+
+let test_concurrent_sections_progress () =
+  let sched, alloc = fresh () in
+  let rt = Parsec.create alloc in
+  let finished = ref 0 in
+  for t = 0 to 15 do
+    Sthread.spawn sched ~hw:(t * 4 mod 80) (fun () ->
+        for _ = 1 to 10 do
+          Parsec.enter rt;
+          Sthread.work 200;
+          Parsec.exit rt;
+          if t mod 4 = 0 then Parsec.quiesce rt
+        done;
+        incr finished)
+  done;
+  Sthread.run sched;
+  Alcotest.(check int) "all threads finished" 16 !finished
+
+let suite =
+  [
+    ("quiesce waits for readers", `Quick, test_quiesce_waits_for_readers);
+    ("quiesce ignores later readers", `Quick, test_quiesce_ignores_later_readers);
+    ("active readers", `Quick, test_active_readers);
+    ("concurrent sections progress", `Quick, test_concurrent_sections_progress);
+  ]

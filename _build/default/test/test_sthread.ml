@@ -1,0 +1,228 @@
+(* Tests for the discrete-event simulated-thread scheduler. *)
+
+module Machine = Dps_machine.Machine
+module Topology = Dps_machine.Topology
+module Sthread = Dps_sthread.Sthread
+
+let mk () = Sthread.create (Machine.create Machine.config_default)
+
+let test_single_thread_runs () =
+  let s = mk () in
+  let ran = ref false in
+  Sthread.spawn s ~hw:0 (fun () ->
+      Sthread.work 100;
+      ran := true);
+  Sthread.run s;
+  Alcotest.(check bool) "ran" true !ran;
+  Alcotest.(check int) "time advanced by work" 100 (Sthread.now s)
+
+let test_threads_interleave () =
+  let s = mk () in
+  let log = ref [] in
+  let worker name =
+    Sthread.spawn s ~hw:(if name = "a" then 0 else 2) (fun () ->
+        for i = 1 to 3 do
+          Sthread.work 10;
+          log := (name, i) :: !log
+        done)
+  in
+  worker "a";
+  worker "b";
+  Sthread.run s;
+  let log = List.rev !log in
+  (* Equal costs: steps alternate deterministically. *)
+  Alcotest.(check int) "6 steps" 6 (List.length log);
+  let a_steps = List.filteri (fun i _ -> i mod 2 = 0) log in
+  Alcotest.(check bool) "interleaved" true
+    (List.for_all (fun (n, _) -> n = "a") a_steps
+    || List.for_all (fun (n, _) -> n = "b") a_steps)
+
+let test_memory_access_charges_time () =
+  let s = mk () in
+  let m = Sthread.machine s in
+  let a = Machine.alloc m (Machine.On_node 0) ~lines:1 in
+  Sthread.spawn s ~hw:0 (fun () ->
+      Sthread.read a;
+      Sthread.read a);
+  Sthread.run s;
+  let costs = (Machine.config m).Machine.costs in
+  Alcotest.(check int) "walk + dram, then hit"
+    (costs.Dps_machine.Costs.walk_local + costs.Dps_machine.Costs.dram_local
+   + costs.Dps_machine.Costs.priv_hit)
+    (Sthread.now s)
+
+let test_deterministic_schedule () =
+  let run_once () =
+    let s = mk () in
+    let m = Sthread.machine s in
+    let a = Machine.alloc m Machine.Interleave ~lines:64 in
+    let trace = Buffer.create 256 in
+    for t = 0 to 7 do
+      Sthread.spawn s ~hw:(t * 2) (fun () ->
+          let p = Sthread.self_prng () in
+          for _ = 1 to 20 do
+            let addr = a + Dps_simcore.Prng.int p 64 in
+            if Dps_simcore.Prng.bool p then Sthread.write addr else Sthread.read addr;
+            Buffer.add_string trace (Printf.sprintf "%d@%d;" (Sthread.self_id ()) (Sthread.time ()))
+          done)
+    done;
+    Sthread.run s;
+    (Buffer.contents trace, Sthread.now s)
+  in
+  let t1, n1 = run_once () and t2, n2 = run_once () in
+  Alcotest.(check string) "identical traces" t1 t2;
+  Alcotest.(check int) "identical end time" n1 n2
+
+let test_run_until () =
+  let s = mk () in
+  let steps = ref 0 in
+  Sthread.spawn s ~hw:0 (fun () ->
+      while Sthread.time () < 10_000 do
+        Sthread.work 100;
+        incr steps
+      done);
+  Sthread.run ~until:500 s;
+  let at_500 = !steps in
+  Alcotest.(check bool) "paused early" true (at_500 <= 6);
+  Sthread.run s;
+  Alcotest.(check int) "completed" 100 !steps
+
+let test_self_identifiers () =
+  let s = mk () in
+  let seen = ref [] in
+  Sthread.spawn s ~hw:6 (fun () -> seen := (Sthread.self_id (), Sthread.self_hw ()) :: !seen);
+  Sthread.spawn s ~hw:8 (fun () -> seen := (Sthread.self_id (), Sthread.self_hw ()) :: !seen);
+  Sthread.run s;
+  Alcotest.(check (list (pair int int))) "ids and pins" [ (1, 8); (0, 6) ] !seen
+
+let test_live_threads () =
+  let s = mk () in
+  Sthread.spawn s ~hw:0 (fun () -> Sthread.work 10);
+  Sthread.spawn s ~hw:2 (fun () -> Sthread.work 20);
+  Alcotest.(check int) "two live" 2 (Sthread.live_threads s);
+  Sthread.run s;
+  Alcotest.(check int) "none live" 0 (Sthread.live_threads s)
+
+let test_charge_and_flush () =
+  let s = mk () in
+  let m = Sthread.machine s in
+  let a = Machine.alloc m (Machine.On_node 0) ~lines:8 in
+  let t_after_charges = ref (-1) in
+  Sthread.spawn s ~hw:0 (fun () ->
+      for i = 0 to 7 do
+        Sthread.charge_read (a + i)
+      done;
+      t_after_charges := Sthread.time ();
+      Sthread.flush ());
+  Sthread.run s;
+  Alcotest.(check int) "charges do not advance time" 0 !t_after_charges;
+  let costs = (Machine.config m).Machine.costs in
+  let pages = List.sort_uniq compare (List.init 8 (fun i -> (a + i) lsr 6)) in
+  (* eight cold DRAM fetches, one page walk per page, plus the memory
+     controller's per-line service (6 cycles) queueing the burst *)
+  let dram_queue = 6 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7) in
+  Alcotest.(check int) "flush advances by total"
+    ((8 * costs.Dps_machine.Costs.dram_local)
+    + (List.length pages * costs.Dps_machine.Costs.walk_local)
+    + dram_queue)
+    (Sthread.now s)
+
+let test_spawn_from_inside () =
+  let s = mk () in
+  let child_ran = ref false in
+  Sthread.spawn s ~hw:0 (fun () ->
+      Sthread.work 50;
+      Sthread.spawn s ~hw:2 (fun () -> child_ran := true));
+  Sthread.run s;
+  Alcotest.(check bool) "child ran" true !child_ran
+
+let test_exception_propagates () =
+  let s = mk () in
+  Sthread.spawn s ~hw:0 (fun () -> failwith "boom");
+  Alcotest.check_raises "propagates" (Failure "boom") (fun () -> Sthread.run s)
+
+let test_outside_context_rejected () =
+  Alcotest.check_raises "no context" (Failure "Sthread: called from outside a simulated thread")
+    (fun () -> ignore (Sthread.self_hw ()))
+
+let test_access_pipelined () =
+  (* pipelined accesses charge a fraction of the latency but keep the full
+     coherence transition *)
+  let serial =
+    let s = mk () in
+    let m = Sthread.machine s in
+    let a = Machine.alloc m (Machine.On_node 0) ~lines:64 in
+    Sthread.spawn s ~hw:0 (fun () ->
+        for i = 0 to 63 do
+          Sthread.read (a + i)
+        done);
+    Sthread.run s;
+    Sthread.now s
+  in
+  let pipelined =
+    let s = mk () in
+    let m = Sthread.machine s in
+    let a = Machine.alloc m (Machine.On_node 0) ~lines:64 in
+    Sthread.spawn s ~hw:0 (fun () ->
+        for i = 0 to 63 do
+          Sthread.access_pipelined ~factor:8 ~kind:Machine.Read (a + i)
+        done);
+    Sthread.run s;
+    Sthread.now s
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "pipelined faster (%d vs %d)" pipelined serial)
+    true
+    (pipelined * 4 < serial)
+
+let test_hyperthread_dilation_in_sim () =
+  (* A thread running with its sibling active takes longer per work unit. *)
+  let solo =
+    let s = mk () in
+    Sthread.spawn s ~hw:0 (fun () -> Sthread.work 1000);
+    Sthread.run s;
+    Sthread.now s
+  in
+  let shared =
+    let s = mk () in
+    Sthread.spawn s ~hw:0 (fun () -> Sthread.work 1000);
+    Sthread.spawn s ~hw:1 (fun () -> Sthread.work 1000);
+    Sthread.run s;
+    Sthread.now s
+  in
+  Alcotest.(check int) "solo time" 1000 solo;
+  Alcotest.(check bool) "sibling dilates" true (shared > 1000)
+
+let test_alloc_policies () =
+  let s = mk () in
+  let m = Sthread.machine s in
+  (* cold Spread: round-robin over sockets *)
+  let spread = Dps_sthread.Alloc.create m ~cold:Dps_sthread.Alloc.Spread in
+  let homes = List.init 8 (fun _ -> Machine.home_of m (Dps_sthread.Alloc.line spread)) in
+  Alcotest.(check (list int)) "spread round-robin" [ 0; 1; 2; 3; 0; 1; 2; 3 ] homes;
+  (* cold Node n: pinned *)
+  let pinned = Dps_sthread.Alloc.create m ~cold:(Dps_sthread.Alloc.Node 2) in
+  Alcotest.(check int) "pinned" 2 (Machine.home_of m (Dps_sthread.Alloc.line pinned));
+  (* in simulation: homed on the allocating thread's socket *)
+  let seen = ref (-1) in
+  Sthread.spawn s ~hw:60 (fun () -> seen := Machine.home_of m (Dps_sthread.Alloc.line spread));
+  Sthread.run s;
+  Alcotest.(check int) "sim alloc node-local" 3 !seen
+
+let suite =
+  [
+    ("single thread runs", `Quick, test_single_thread_runs);
+    ("alloc policies", `Quick, test_alloc_policies);
+    ("threads interleave", `Quick, test_threads_interleave);
+    ("memory access charges time", `Quick, test_memory_access_charges_time);
+    ("deterministic schedule", `Quick, test_deterministic_schedule);
+    ("run until", `Quick, test_run_until);
+    ("self identifiers", `Quick, test_self_identifiers);
+    ("live threads", `Quick, test_live_threads);
+    ("charge and flush", `Quick, test_charge_and_flush);
+    ("spawn from inside", `Quick, test_spawn_from_inside);
+    ("exception propagates", `Quick, test_exception_propagates);
+    ("outside context rejected", `Quick, test_outside_context_rejected);
+    ("access pipelined", `Quick, test_access_pipelined);
+    ("hyperthread dilation", `Quick, test_hyperthread_dilation_in_sim);
+  ]
