@@ -28,6 +28,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("fig12", "skip-list panels", Fig_sets.fig12);
     ("fig13", "memcached panels + tail latency", Fig_mc.all);
     ("ablations", "DPS design-knob ablations", Fig_ablation.all);
+    ("faults", "throughput under injected crashes/stalls", Fig_faults.all);
     ("bechamel", "Bechamel kernels (one per figure)", Bechamel_suite.run);
   ]
 

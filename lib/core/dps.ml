@@ -3,42 +3,80 @@ module Topology = Dps_machine.Topology
 module Sthread = Dps_sthread.Sthread
 module Simops = Dps_sthread.Simops
 module Alloc = Dps_sthread.Alloc
+module Spinlock = Dps_sync.Spinlock
 
 type partition_info = { pid : int; node : int; alloc : Alloc.t }
 
 (* One single-cache-line message, as in §4.2: toggle bit, operation,
    return value. The toggle is set by the sender and cleared by the
-   partition when the reply (in [ret]) is ready. *)
+   partition when the reply (in [ret]) is ready. [claim] is the serving
+   thread's id while the operation is in flight, so recovery code can tell
+   "in progress" from "lost with its server". [cancelled] marks a slot
+   whose sender gave up (the next server discards it in ring order);
+   [aborted] is the converse signal — a reaper declaring the operation
+   lost, telling the sender to re-issue. *)
 type msg = {
   maddr : int;
   mutable toggle : bool;
   mutable op : (unit -> int) option;
   mutable ret : int;
+  mutable claim : int;
+  mutable cancelled : bool;
+  mutable aborted : bool;
 }
 
-type completion = Local of int | Remote of msg
+type completion = Local of int | Remote of remote
+
+and remote = {
+  mutable slot : msg;
+  mutable pid : int;
+  reissue : unit -> completion;
+      (* re-route and re-send the same operation; used after partition
+         failover or a crashed server. Recomputes the namespace lookup, so
+         a retargeted bucket lands on its new owner. *)
+}
 
 (* A ring of messages for one (client, partition) pair, allocated on the
    partition's NUMA node. The client owns [send_idx], the serving peer owns
    [recv_idx]; the toggle bit replaces head/tail comparison. [lock] is only
-   used when a dedicated poller runs (S4.4 liveness): the poller and the
-   ring's peer serializes through it, "rarely contended" as the paper
-   notes. *)
+   used when a dedicated poller runs (S4.4 liveness) or self-healing is on:
+   the poller and the ring's peer serializes through it, "rarely contended"
+   as the paper notes. [last_served] is the ring-granularity liveness
+   timestamp behind the sender-side timeouts. *)
 type ring = {
   slots : msg array;
   mutable send_idx : int;
   mutable recv_idx : int;
-  rlock : Dps_sync.Spinlock.t option;
+  mutable last_served : int;
+  rlock : Spinlock.t option;
 }
 
 type 'a partition = { info : partition_info; data : 'a; rings : ring array (* per client *) }
 
+type cstate = Issuing | Done_issuing | Gone
+
 type client = {
-  tid : int;
+  sid : int;  (* simulated thread id *)
+  tid : int;  (* client slot, in [0, nclients) *)
   hw : int;
   my_pid : int;
-  served : (int * int) array;  (* (partition never <> my_pid, ring index) — my serving share *)
+  mutable served : (int * int) array;
+      (* (partition never <> my_pid, ring index) — my serving share; grows
+         when this client adopts an exiting peer's share *)
   mutable cursor : int;  (* round-robin scan position, for serving fairness *)
+  mutable cstate : cstate;
+}
+
+type health = {
+  pending_depth : int array;  (** per partition: delegations queued, unserved *)
+  time_since_served : int array;  (** per partition: now - last served op *)
+  dead_partitions : bool array;
+  takeovers : int;  (** foreign serves of a stuck partition's rings *)
+  adoptions : int;  (** serving shares handed to a live peer *)
+  retries : int;  (** operations re-issued after loss *)
+  failovers : int;  (** partitions retired and retargeted *)
+  crashes : int;  (** clients that vanished without [client_done] *)
+  lock_breaks : int;  (** ring locks reclaimed from dead holders *)
 }
 
 type 'a t = {
@@ -50,8 +88,15 @@ type 'a t = {
   check_budget : int;
   marshal_cost : int;
   dispatch_cost : int;
+  self_healing : bool;
+  await_timeout : int;
   placement : int array;
   clients : (int, client) Hashtbl.t;  (* simulated thread id -> client *)
+  members : client list array;  (* per partition: clients ever attached *)
+  dead_tids : (int, unit) Hashtbl.t;  (* every retired simulated thread *)
+  dead : bool array;  (* partitions with no live member left *)
+  last_served : int array;  (* per partition *)
+  pending : int array;  (* per partition: sent - (served + discarded) *)
   (* the flat namespace of the paper's create(): hash(key) mod ns_sz
      selects a bucket, whose entry names the owning partition. One charged
      line per 8 entries; rebalancing rewrites entries. *)
@@ -60,6 +105,12 @@ type 'a t = {
   mutable remaining : int;
   mutable n_delegated : int;
   mutable n_local : int;
+  mutable n_takeovers : int;
+  mutable n_adoptions : int;
+  mutable n_retries : int;
+  mutable n_failovers : int;
+  mutable n_crashes : int;
+  mutable n_lock_breaks : int;
 }
 
 let npartitions t = Array.length t.partitions
@@ -75,8 +126,98 @@ let client_hw t i = t.placement.(i)
 let delegated_ops t = t.n_delegated
 let local_ops t = t.n_local
 
+let health t =
+  let now = Sthread.now t.sched in
+  {
+    pending_depth = Array.copy t.pending;
+    time_since_served = Array.map (fun ls -> now - ls) t.last_served;
+    dead_partitions = Array.copy t.dead;
+    takeovers = t.n_takeovers;
+    adoptions = t.n_adoptions;
+    retries = t.n_retries;
+    failovers = t.n_failovers;
+    crashes = t.n_crashes;
+    lock_breaks = t.n_lock_breaks;
+  }
+
+(* Hand [cl]'s serving share to a peer of its locality, so an exiting or
+   crashed client does not orphan its rings (the §4.4 liveness argument
+   needs *some* thread of the locality to keep serving them). Prefer a peer
+   still issuing — it scans its rings anyway; fall back to any peer whose
+   thread is still alive (a drainer). With no candidate the share stays,
+   and either our own [drain] or partition failover covers it. *)
+let adopt_share t cl =
+  if Array.length cl.served > 0 then begin
+    let peers = List.filter (fun p -> p != cl && p.cstate <> Gone) t.members.(cl.my_pid) in
+    let target =
+      match List.find_opt (fun p -> p.cstate = Issuing) peers with
+      | Some p -> Some p
+      | None -> ( match peers with p :: _ -> Some p | [] -> None)
+    in
+    match target with
+    | Some peer ->
+        peer.served <- Array.append peer.served cl.served;
+        cl.served <- [||];
+        t.n_adoptions <- t.n_adoptions + 1
+    | None -> ()
+  end
+
+(* A partition with no live member can never serve again: retarget its
+   namespace buckets onto live partitions round-robin — the same bucket
+   rewrite [rebalance] performs, minus the data move (a dying thread's exit
+   hook may not run charged operations, and the dead locality cannot answer
+   an extract). The retarget has rebalance's relaxed contract: the dead
+   partition's keys read as absent until recovered; [partition_data] still
+   reaches the old slice for offline migration. *)
+let fail_over t pid =
+  if not t.dead.(pid) then begin
+    t.dead.(pid) <- true;
+    t.n_failovers <- t.n_failovers + 1;
+    let live =
+      Array.of_list
+        (List.filter (fun p -> not t.dead.(p)) (List.init (npartitions t) Fun.id))
+    in
+    if Array.length live > 0 then begin
+      let j = ref 0 in
+      Array.iteri
+        (fun b owner ->
+          if owner = pid then begin
+            t.ns_table.(b) <- live.(!j mod Array.length live);
+            incr j
+          end)
+        t.ns_table
+    end
+  end
+
+let partition_has_live_member t pid =
+  List.exists (fun p -> p.cstate <> Gone) t.members.(pid)
+
+(* Exit hook: every retired thread lands in [dead_tids] (so abandoned ring
+   locks and claims can be recognised); a thread that dies while attached
+   is a crash — account for its unfinished [client_done], hand its serving
+   share to a peer, and fail the partition over if it was the last one.
+   Runs in the dying thread's context: bookkeeping only, nothing charged. *)
+let handle_exit t sid =
+  Hashtbl.replace t.dead_tids sid ();
+  match Hashtbl.find_opt t.clients sid with
+  | None -> ()
+  | Some cl ->
+      Hashtbl.remove t.clients sid;
+      if cl.cstate = Issuing then begin
+        t.n_crashes <- t.n_crashes + 1;
+        t.remaining <- t.remaining - 1
+      end;
+      cl.cstate <- Gone;
+      adopt_share t cl;
+      (* fail over only while someone is still issuing: a locality whose
+         members all exited after the run wound down ([remaining] = 0) is
+         finished, not dead *)
+      if t.remaining > 0 && not (partition_has_live_member t cl.my_pid) then
+        fail_over t cl.my_pid
+
 let create sched ~nclients ~locality_size ~hash ?ns_sz ?(ring_slots = 16) ?(check_budget = 4)
-    ?(marshal_cost = 100) ?(dispatch_cost = 250) ?(dedicated_pollers = false) ~mk_data () =
+    ?(marshal_cost = 100) ?(dispatch_cost = 250) ?(dedicated_pollers = false)
+    ?(self_healing = false) ?(await_timeout = 50_000) ~mk_data () =
   assert (nclients > 0 && locality_size > 0);
   let m = Sthread.machine sched in
   let topo = Machine.topology m in
@@ -88,37 +229,64 @@ let create sched ~nclients ~locality_size ~hash ?ns_sz ?(ring_slots = 16) ?(chec
     let info = { pid; node; alloc = Alloc.create m ~cold:(Alloc.Node node) } in
     let mk_ring _client =
       let mk_slot _ =
-        { maddr = Machine.alloc m (Machine.On_node node) ~lines:1; toggle = false; op = None; ret = 0 }
+        {
+          maddr = Machine.alloc m (Machine.On_node node) ~lines:1;
+          toggle = false;
+          op = None;
+          ret = 0;
+          claim = -1;
+          cancelled = false;
+          aborted = false;
+        }
       in
       let rlock =
-        if dedicated_pollers then
-          Some (Dps_sync.Spinlock.embed ~addr:(Machine.alloc m (Machine.On_node node) ~lines:1))
+        if dedicated_pollers || self_healing then
+          Some (Spinlock.embed ~addr:(Machine.alloc m (Machine.On_node node) ~lines:1))
         else None
       in
-      { slots = Array.init ring_slots mk_slot; send_idx = 0; recv_idx = 0; rlock }
+      { slots = Array.init ring_slots mk_slot; send_idx = 0; recv_idx = 0; last_served = 0; rlock }
     in
     { info; data = mk_data info; rings = Array.init nclients mk_ring }
   in
-  {
-    sched;
-    partitions = Array.init nparts mk_partition;
-    nclients;
-    locality_size;
-    hash;
-    check_budget;
-    marshal_cost;
-    dispatch_cost;
-    placement;
-    clients = Hashtbl.create (2 * nclients);
-    ns_table = Array.init ns_sz (fun b -> b mod nparts);
-    ns_base = Machine.alloc m Machine.Interleave ~lines:((ns_sz + 7) / 8);
-    remaining = nclients;
-    n_delegated = 0;
-    n_local = 0;
-  }
+  let t =
+    {
+      sched;
+      partitions = Array.init nparts mk_partition;
+      nclients;
+      locality_size;
+      hash;
+      check_budget;
+      marshal_cost;
+      dispatch_cost;
+      self_healing;
+      await_timeout;
+      placement;
+      clients = Hashtbl.create (2 * nclients);
+      members = Array.make nparts [];
+      dead_tids = Hashtbl.create 64;
+      dead = Array.make nparts false;
+      last_served = Array.make nparts 0;
+      pending = Array.make nparts 0;
+      ns_table = Array.init ns_sz (fun b -> b mod nparts);
+      ns_base = Machine.alloc m Machine.Interleave ~lines:((ns_sz + 7) / 8);
+      remaining = nclients;
+      n_delegated = 0;
+      n_local = 0;
+      n_takeovers = 0;
+      n_adoptions = 0;
+      n_retries = 0;
+      n_failovers = 0;
+      n_crashes = 0;
+      n_lock_breaks = 0;
+    }
+  in
+  Sthread.on_exit sched (handle_exit t);
+  t
 
 let attach t ~client =
   assert (client >= 0 && client < t.nclients);
+  let sid = Sthread.self_id () in
+  if Hashtbl.mem t.clients sid then failwith "Dps: thread already attached";
   let my_pid = client / t.locality_size in
   let my_index = client mod t.locality_size in
   (* §4.3: the flat array of a partition's rings is divided across the
@@ -130,45 +298,90 @@ let attach t ~client =
          (fun c -> if c mod t.locality_size = my_index then Some (my_pid, c) else None)
          (List.init t.nclients Fun.id))
   in
-  Hashtbl.replace t.clients (Sthread.self_id ())
-    { tid = client; hw = Sthread.self_hw (); my_pid; served; cursor = 0 }
+  let cl =
+    { sid; tid = client; hw = Sthread.self_hw (); my_pid; served; cursor = 0; cstate = Issuing }
+  in
+  Hashtbl.replace t.clients sid cl;
+  t.members.(my_pid) <- cl :: t.members.(my_pid)
 
 let me t =
   match Hashtbl.find_opt t.clients (Sthread.self_id ()) with
   | Some c -> c
   | None -> failwith "Dps: thread not attached"
 
+let detach t =
+  let sid = Sthread.self_id () in
+  match Hashtbl.find_opt t.clients sid with
+  | None -> failwith "Dps: thread not attached"
+  | Some cl ->
+      Hashtbl.remove t.clients sid;
+      cl.cstate <- Gone;
+      adopt_share t cl;
+      t.members.(cl.my_pid) <- List.filter (fun p -> p != cl) t.members.(cl.my_pid)
+
 let cursor_advance cl scanned n = if n > 0 then cl.cursor <- (cl.cursor + max 1 scanned) mod n
 
-(* Drain up to [budget] pending requests from one ring. When dedicated
-   pollers are active, the ring lock serializes us with them; on contention
-   we simply skip the ring. *)
-let serve_ring t ring ~budget =
+(* Serve the requests pending in one ring, assuming exclusive access (the
+   ring lock, if any, is held by the caller). A served slot is *claimed*
+   (op taken, claim set) before the dispatch work is charged, so a second
+   server never double-executes, and a crash mid-dispatch leaves a claim
+   that recovery can recognise as lost. Slots whose sender gave up
+   ([cancelled]) are discarded in ring order; slots claimed by a dead
+   server are aborted back to their sender. *)
+let serve_slots t ~pid ring ~budget =
+  let served = ref 0 in
+  let continue_ring = ref true in
+  while !continue_ring && !served < budget do
+    let slot = ring.slots.(ring.recv_idx mod Array.length ring.slots) in
+    Simops.read slot.maddr;
+    match slot.op with
+    | Some op when slot.toggle ->
+        slot.op <- None;
+        slot.claim <- Sthread.self_id ();
+        (* request unmarshalling and dispatch *)
+        Simops.work t.dispatch_cost;
+        let v = op () in
+        slot.ret <- v;
+        slot.claim <- -1;
+        slot.toggle <- false;
+        Simops.write slot.maddr;
+        ring.recv_idx <- ring.recv_idx + 1;
+        ring.last_served <- Sthread.time ();
+        t.last_served.(pid) <- ring.last_served;
+        t.pending.(pid) <- t.pending.(pid) - 1;
+        incr served
+    | None when slot.toggle && slot.cancelled ->
+        (* sender re-issued elsewhere; consume the tombstone in order *)
+        slot.cancelled <- false;
+        slot.toggle <- false;
+        Simops.write slot.maddr;
+        ring.recv_idx <- ring.recv_idx + 1;
+        t.pending.(pid) <- t.pending.(pid) - 1
+    | None when slot.toggle && slot.claim >= 0 && Hashtbl.mem t.dead_tids slot.claim ->
+        (* claimed by a server that died mid-dispatch: the operation is
+           lost; tell the sender to re-issue *)
+        slot.claim <- -1;
+        slot.aborted <- true;
+        slot.toggle <- false;
+        Simops.write slot.maddr;
+        ring.recv_idx <- ring.recv_idx + 1;
+        t.pending.(pid) <- t.pending.(pid) - 1
+    | Some _ | None -> continue_ring := false
+  done;
+  !served
+
+(* Drain up to [budget] pending requests from one ring. When the ring has
+   a lock (dedicated pollers or self-healing), it serializes us with other
+   servers; on contention we simply skip the ring. *)
+let serve_ring t ~pid ring ~budget =
   let proceed =
-    match ring.rlock with None -> true | Some l -> Dps_sync.Spinlock.try_acquire l
+    match ring.rlock with None -> true | Some l -> Spinlock.try_acquire l
   in
   if not proceed then 0
   else begin
-    let served = ref 0 in
-    let continue_ring = ref true in
-    while !continue_ring && !served < budget do
-      let slot = ring.slots.(ring.recv_idx mod Array.length ring.slots) in
-      Simops.read slot.maddr;
-      match slot.op with
-      | Some op when slot.toggle ->
-          (* request unmarshalling and dispatch *)
-          Simops.work t.dispatch_cost;
-          let v = op () in
-          slot.op <- None;
-          slot.ret <- v;
-          slot.toggle <- false;
-          Simops.write slot.maddr;
-          ring.recv_idx <- ring.recv_idx + 1;
-          incr served
-      | Some _ | None -> continue_ring := false
-    done;
-    (match ring.rlock with None -> () | Some l -> Dps_sync.Spinlock.release l);
-    !served
+    let served = serve_slots t ~pid ring ~budget in
+    (match ring.rlock with None -> () | Some l -> Spinlock.release l);
+    served
   end
 
 (* Serve at most [budget] pending requests from this client's share of its
@@ -181,13 +394,45 @@ let serve_as t cl ~max:budget =
   let n = Array.length cl.served in
   while !served < budget && !i < n do
     let _, ring_idx = cl.served.((cl.cursor + !i) mod n) in
-    served := !served + serve_ring t p.rings.(ring_idx) ~budget:(budget - !served);
+    served := !served + serve_ring t ~pid:cl.my_pid p.rings.(ring_idx) ~budget:(budget - !served);
     incr i
   done;
   cursor_advance cl !i n;
   !served
 
 let serve t ~max = serve_as t (me t) ~max
+
+(* Takeover (§4.4 under faults): serve *every* ring of partition [pid]
+   ourselves, like a dedicated poller would — used by a sender whose
+   delegation has stalled past its timeout, so a dead peer's share (or a
+   whole dead locality) still makes progress. Ring locks abandoned by
+   crashed holders are broken and reclaimed. *)
+let takeover_serve t pid =
+  let p = t.partitions.(pid) in
+  let patience = max 512 (t.await_timeout / 16) in
+  let served = ref 0 in
+  Array.iter
+    (fun ring ->
+      match ring.rlock with
+      | None -> ()
+      | Some l ->
+          let got =
+            Spinlock.acquire_for l ~budget:patience
+            ||
+            match Spinlock.owner l with
+            | Some holder when holder >= 0 && Hashtbl.mem t.dead_tids holder ->
+                Spinlock.break_lock l;
+                t.n_lock_breaks <- t.n_lock_breaks + 1;
+                Spinlock.try_acquire l
+            | _ -> false
+          in
+          if got then begin
+            served := !served + serve_slots t ~pid ring ~budget:max_int;
+            Spinlock.release l
+          end)
+    p.rings;
+  if !served > 0 then t.n_takeovers <- t.n_takeovers + 1;
+  !served
 
 let run_local t pid op =
   t.n_local <- t.n_local + 1;
@@ -197,19 +442,29 @@ let run_local t pid op =
   op t.partitions.(pid).data
 
 (* Claim a free slot in this client's ring to [pid], serving own duties
-   while the ring is full. *)
+   while the ring is full. Under self-healing, a ring stuck full past the
+   timeout (its servers died) is drained by takeover so the sender is
+   never wedged in claim. *)
 let claim_slot t cl pid =
   let ring = t.partitions.(pid).rings.(cl.tid) in
+  let deadline = ref (if t.self_healing then Sthread.time () + t.await_timeout else max_int) in
   let rec try_claim () =
     let slot = ring.slots.(ring.send_idx mod Array.length ring.slots) in
     Simops.read slot.maddr;
     if slot.toggle then begin
       (* ring full: overlap with serving (§4.3) *)
       if serve_as t cl ~max:t.check_budget = 0 then Simops.work 64;
+      if t.self_healing && Sthread.time () > !deadline then begin
+        ignore (takeover_serve t pid);
+        deadline := Sthread.time () + t.await_timeout
+      end;
       try_claim ()
     end
     else begin
       ring.send_idx <- ring.send_idx + 1;
+      slot.cancelled <- false;
+      slot.aborted <- false;
+      slot.claim <- -1;
       slot
     end
   in
@@ -224,19 +479,60 @@ let send t cl pid op =
   slot.toggle <- true;
   Simops.write slot.maddr;
   t.n_delegated <- t.n_delegated + 1;
+  t.pending.(pid) <- t.pending.(pid) + 1;
   slot
 
-let execute t ~key op =
+let rec execute t ~key op =
   let cl = me t in
   let pid = partition_of_key t key in
-  if pid = cl.my_pid then Local (run_local t pid op) else Remote (send t cl pid op)
+  if pid = cl.my_pid then Local (run_local t pid op)
+  else Remote { slot = send t cl pid op; pid; reissue = (fun () -> execute t ~key op) }
+
+(* Escalation of a delegation stuck past the timeout: serve the target
+   partition's whole ring set ourselves (most stalls resolve right there —
+   including our own slot), then decide from the slot's state whether to
+   keep waiting (a live server is mid-dispatch), or cancel and re-issue
+   (lost with a dead server, or wedged behind a lock we could not break). *)
+let escalate t (r : remote) =
+  ignore (takeover_serve t r.pid);
+  let slot = r.slot in
+  Simops.read slot.maddr;
+  if not slot.toggle then `Check
+  else if slot.op <> None then begin
+    slot.op <- None;
+    slot.cancelled <- true;
+    `Reissue
+  end
+  else if slot.claim >= 0 && Hashtbl.mem t.dead_tids slot.claim then begin
+    slot.claim <- -1;
+    slot.cancelled <- true;
+    `Reissue
+  end
+  else begin
+    if not (partition_has_live_member t r.pid) then fail_over t r.pid;
+    `Wait
+  end
 
 let try_await t completion =
   match completion with
   | Local v -> Some v
-  | Remote slot ->
+  | Remote r ->
+      let slot = r.slot in
       Simops.read slot.maddr;
-      if not slot.toggle then Some slot.ret
+      if not slot.toggle then begin
+        if not slot.aborted then Some slot.ret
+        else begin
+          (* the server crashed with our operation: re-route and re-send *)
+          slot.aborted <- false;
+          t.n_retries <- t.n_retries + 1;
+          match r.reissue () with
+          | Local v -> Some v
+          | Remote r' ->
+              r.slot <- r'.slot;
+              r.pid <- r'.pid;
+              None
+        end
+      end
       else begin
         ignore (serve t ~max:t.check_budget);
         None
@@ -245,24 +541,60 @@ let try_await t completion =
 let await t completion =
   match completion with
   | Local v -> v
-  | Remote _ ->
+  | Remote r ->
+      let cl = me t in
       (* escalate the pause while the locality has nothing to serve, so a
          long-running remote operation does not turn into a polling storm *)
       let pause = ref 32 in
+      let deadline = ref (if t.self_healing then Sthread.time () + t.await_timeout else max_int) in
+      let reissue_now () =
+        t.n_retries <- t.n_retries + 1;
+        (match r.reissue () with
+        | Local v ->
+            (* the re-issued operation ran locally (failover made the key
+               ours): synthesize a completed slot — the abandoned ring slot
+               must keep its tombstone for in-order discard *)
+            r.slot <-
+              {
+                maddr = r.slot.maddr;
+                toggle = false;
+                op = None;
+                ret = v;
+                claim = -1;
+                cancelled = false;
+                aborted = false;
+              }
+        | Remote r' ->
+            r.slot <- r'.slot;
+            r.pid <- r'.pid);
+        deadline := Sthread.time () + t.await_timeout;
+        pause := 32
+      in
       let rec spin () =
-        match completion with
-        | Local v -> v
-        | Remote slot -> (
-            Simops.read slot.maddr;
-            if not slot.toggle then slot.ret
-            else begin
-              if serve t ~max:t.check_budget > 0 then pause := 32
-              else begin
-                Simops.work !pause;
-                pause := min 4096 (2 * !pause)
-              end;
-              spin ()
-            end)
+        let slot = r.slot in
+        Simops.read slot.maddr;
+        if not slot.toggle then begin
+          if not slot.aborted then slot.ret
+          else begin
+            slot.aborted <- false;
+            reissue_now ();
+            spin ()
+          end
+        end
+        else begin
+          if serve_as t cl ~max:t.check_budget > 0 then pause := 32
+          else if t.self_healing && Sthread.time () > !deadline then begin
+            (match escalate t r with
+            | `Check | `Wait -> deadline := Sthread.time () + t.await_timeout
+            | `Reissue -> reissue_now ());
+            pause := 32
+          end
+          else begin
+            Simops.work !pause;
+            pause := min 4096 (2 * !pause)
+          end;
+          spin ()
+        end
       in
       spin ()
 
@@ -278,31 +610,43 @@ let execute_local t ~key op =
   t.n_local <- t.n_local + 1;
   op t.partitions.(pid).data
 
-let range t op ~merge =
-  let cl = me t in
-  let pending =
-    Array.to_list
-      (Array.mapi
-         (fun pid _ ->
-           if pid = cl.my_pid then Local (run_local t pid op) else Remote (send t cl pid op))
-         t.partitions)
-  in
-  match List.map (await t) pending with
-  | [] -> invalid_arg "Dps.range: no partitions"
-  | v :: rest -> List.fold_left merge v rest
-
 let my_partition t = (me t).my_pid
 
-let execute_on t ~pid op =
+let first_live_pid t ~fallback =
+  let n = npartitions t in
+  let rec scan i = if i >= n then fallback else if not t.dead.(i) then i else scan (i + 1) in
+  scan 0
+
+let rec execute_on t ~pid op =
   assert (pid >= 0 && pid < npartitions t);
   let cl = me t in
-  if pid = cl.my_pid then Local (run_local t pid op) else Remote (send t cl pid op)
+  if pid = cl.my_pid then Local (run_local t pid op)
+  else
+    Remote
+      {
+        slot = send t cl pid op;
+        pid;
+        reissue =
+          (fun () ->
+            (* a directly-targeted partition that died is re-routed to a
+               live one — best-effort, same relaxed contract as failover *)
+            let pid = if t.dead.(pid) then first_live_pid t ~fallback:pid else pid in
+            execute_on t ~pid op);
+      }
 
 let call_on t ~pid op = await t (execute_on t ~pid op)
 
 let execute_async_on t ~pid op =
   let cl = me t in
   if pid = cl.my_pid then ignore (run_local t pid op) else ignore (send t cl pid op)
+
+let range t op ~merge =
+  let pending =
+    Array.to_list (Array.mapi (fun pid _ -> execute_on t ~pid op) t.partitions)
+  in
+  match List.map (await t) pending with
+  | [] -> invalid_arg "Dps.range: no partitions"
+  | v :: rest -> List.fold_left merge v rest
 
 (* S4.4 liveness: a dedicated polling thread for one locality. It checks
    every ring of the partition (not just one peer's share), so delegations
@@ -315,7 +659,7 @@ let run_poller t ~pid =
   | None -> failwith "Dps: create with ~dedicated_pollers:true to run pollers");
   while t.remaining > 0 do
     let served = ref 0 in
-    Array.iter (fun ring -> served := !served + serve_ring t ring ~budget:max_int) p.rings;
+    Array.iter (fun ring -> served := !served + serve_ring t ~pid ring ~budget:max_int) p.rings;
     if !served = 0 then Simops.work 128
   done
 
@@ -328,6 +672,7 @@ let run_poller t ~pid =
 let rebalance t ~bucket ~to_ ~extract ~insert =
   assert (bucket >= 0 && bucket < Array.length t.ns_table);
   assert (to_ >= 0 && to_ < npartitions t);
+  Simops.charge_read (t.ns_base + (bucket / 8));
   let from = t.ns_table.(bucket) in
   if from <> to_ then begin
     let moved = ref [] in
@@ -342,9 +687,20 @@ let rebalance t ~bucket ~to_ ~extract ~insert =
       !moved
   end
 
-let bucket_owner t ~bucket = t.ns_table.(bucket)
+let bucket_owner t ~bucket =
+  Simops.charge_read (t.ns_base + (bucket / 8));
+  t.ns_table.(bucket)
 
-let client_done t = t.remaining <- t.remaining - 1
+let client_done t =
+  (match Hashtbl.find_opt t.clients (Sthread.self_id ()) with
+  | Some cl when cl.cstate = Issuing ->
+      cl.cstate <- Done_issuing;
+      (* hand the serving share to a peer still issuing; with none, keep
+         it — our own [drain] (or exit-time adoption) covers it *)
+      if List.exists (fun p -> p != cl && p.cstate = Issuing) t.members.(cl.my_pid) then
+        adopt_share t cl
+  | _ -> ());
+  t.remaining <- t.remaining - 1
 
 let drain t =
   let cl = me t in

@@ -33,6 +33,8 @@ val create :
   ?marshal_cost:int ->
   ?dispatch_cost:int ->
   ?dedicated_pollers:bool ->
+  ?self_healing:bool ->
+  ?await_timeout:int ->
   mk_data:(partition_info -> 'a) ->
   unit ->
   'a t
@@ -52,7 +54,20 @@ val create :
     quarter of [dispatch_cost], matching the §5.2 remark about
     interposition overhead on local operations). [dedicated_pollers]
     (default false) adds the per-ring locks required to run {!run_poller}
-    threads (§4.4 liveness). *)
+    threads (§4.4 liveness).
+
+    [self_healing] (default false) arms the fault-tolerant delegation
+    paths (and implies the per-ring locks): a sender whose delegation
+    stalls longer than [await_timeout] cycles (default 50_000) serves the
+    target partition's entire ring set itself — taking over a dead peer's
+    share, breaking ring locks abandoned by crashed holders — and
+    re-issues operations lost with a crashed server; a ring wedged full
+    past the timeout is drained the same way. Independent of
+    [self_healing], exiting or crashed clients always hand their serving
+    share to a live peer, and a partition whose last member dies is
+    failed over (its namespace buckets retarget onto live partitions with
+    {!rebalance}'s relaxed contract — data is not migrated
+    automatically). *)
 
 val npartitions : 'a t -> int
 
@@ -83,7 +98,17 @@ val client_hw : 'a t -> int -> int
 
 val attach : 'a t -> client:int -> unit
 (** Bind the calling simulated thread to client slot [client] (in
-    [0, nclients)). Must be called once, before any operation. *)
+    [0, nclients)). Must be called once, before any operation; a second
+    attach from the same thread fails ([Failure "Dps: thread already
+    attached"]). Re-attaching a slot abandoned via {!detach} (e.g. a
+    respawned replacement thread) is supported with [~self_healing:true],
+    whose ring locks serialize the duplicate servers. *)
+
+val detach : 'a t -> unit
+(** Unbind the calling thread from its client slot, handing its serving
+    share to a live peer of its locality so no ring is orphaned. Does not
+    count as {!client_done} — call that first if this client is done
+    issuing for good. *)
 
 (** {1 Operations (from attached client threads)} *)
 
@@ -153,3 +178,24 @@ val drain : 'a t -> unit
 
 val delegated_ops : 'a t -> int
 val local_ops : 'a t -> int
+
+(** {1 Watchdog and self-healing report} *)
+
+type health = {
+  pending_depth : int array;  (** per partition: delegations queued, unserved *)
+  time_since_served : int array;  (** per partition: now - last served op *)
+  dead_partitions : bool array;
+  takeovers : int;  (** foreign serves of a stuck partition's rings *)
+  adoptions : int;  (** serving shares handed to a live peer *)
+  retries : int;  (** operations re-issued after loss *)
+  failovers : int;  (** partitions retired and retargeted *)
+  crashes : int;  (** clients that vanished without [client_done] *)
+  lock_breaks : int;  (** ring locks reclaimed from dead holders *)
+}
+
+val health : 'a t -> health
+(** Snapshot of the runtime's liveness counters — per-partition pending
+    depth and staleness plus the cumulative self-healing event counts.
+    Deterministic: the same seed and fault plan reproduce identical
+    values. Callable from inside or outside the simulation; charges
+    nothing. *)

@@ -2,7 +2,15 @@ module Heap = Dps_simcore.Heap
 module Prng = Dps_simcore.Prng
 module Machine = Dps_machine.Machine
 
-type tstate = { tid : int; hw : int; prng : Prng.t; mutable pending : int }
+exception Killed
+
+(* What a suspension is for — exposed to the fault hook so chaos plans can
+   target memory accesses specifically (e.g. "delay remote reads"). *)
+type op_tag = Work_op | Access_op of Machine.kind * int | Yield_op
+
+type fault = Crash | Stall of int
+
+type tstate = { tid : int; hw : int; prng : Prng.t; mutable pending : int; mutable killed : bool }
 
 type t = {
   m : Machine.t;
@@ -11,6 +19,9 @@ type t = {
   mutable live : int;
   mutable next_tid : int;
   root_prng : Prng.t;
+  states : (int, tstate) Hashtbl.t;  (* live threads, by tid *)
+  mutable exit_hooks : (int -> unit) list;
+  mutable fault_hook : (tid:int -> now:int -> tag:op_tag -> cycles:int -> fault option) option;
 }
 
 (* The scheduler runs on a single OS thread, so "the thread currently
@@ -23,45 +34,94 @@ let ctx () =
   | None -> failwith "Sthread: called from outside a simulated thread"
 
 let create m =
-  { m; events = Heap.create (); time = 0; live = 0; next_tid = 0; root_prng = Prng.create 7L }
+  {
+    m;
+    events = Heap.create ();
+    time = 0;
+    live = 0;
+    next_tid = 0;
+    root_prng = Prng.create 7L;
+    states = Hashtbl.create 64;
+    exit_hooks = [];
+    fault_hook = None;
+  }
 
 let machine t = t.m
 let now t = t.time
 let live_threads t = t.live
 
-type _ Effect.t += Suspend : int -> unit Effect.t
+let on_exit t hook = t.exit_hooks <- t.exit_hooks @ [ hook ]
+let set_fault_hook t hook = t.fault_hook <- hook
 
-let suspend cycles = Effect.perform (Suspend cycles)
+type _ Effect.t += Suspend : (int * op_tag) -> unit Effect.t
+
+let suspend_tagged tag cycles = Effect.perform (Suspend (cycles, tag))
+let suspend cycles = suspend_tagged Work_op cycles
+
+let exit () =
+  ignore (ctx ());
+  raise Killed
+
+let kill t ~tid =
+  match Hashtbl.find_opt t.states tid with
+  | Some state ->
+      state.killed <- true;
+      true
+  | None -> false
+
+(* Retire a thread — normal return, voluntary [exit], or [kill]. Exit hooks
+   run with [current] still pointing at the dying thread, but must not
+   perform charged operations (the fiber is gone). *)
+let retire t state =
+  Machine.set_active t.m ~thread:state.hw false;
+  t.live <- t.live - 1;
+  Hashtbl.remove t.states state.tid;
+  List.iter (fun hook -> hook state.tid) t.exit_hooks
 
 let rec exec t state f =
   let open Effect.Deep in
   match_with f ()
     {
-      retc =
-        (fun () ->
-          Machine.set_active t.m ~thread:state.hw false;
-          t.live <- t.live - 1);
-      exnc = (fun e -> raise e);
+      retc = (fun () -> retire t state);
+      exnc =
+        (fun e ->
+          match e with
+          | Killed -> retire t state
+          | e -> raise e);
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
-          | Suspend n ->
+          | Suspend (n, tag) ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  Heap.push t.events ~time:(t.time + max 0 n) (fun () ->
+                  let delay =
+                    match t.fault_hook with
+                    | None -> 0
+                    | Some hook -> (
+                        match hook ~tid:state.tid ~now:t.time ~tag ~cycles:n with
+                        | None -> 0
+                        | Some (Stall d) -> max 0 d
+                        | Some Crash ->
+                            state.killed <- true;
+                            0)
+                  in
+                  Heap.push t.events ~time:(t.time + max 0 n + delay) (fun () ->
                       current := Some (t, state);
-                      continue k ()))
+                      if state.killed then discontinue k Killed else continue k ()))
           | _ -> None);
     }
 
 and spawn t ~hw f =
-  let state = { tid = t.next_tid; hw; prng = Prng.split t.root_prng; pending = 0 } in
+  let state =
+    { tid = t.next_tid; hw; prng = Prng.split t.root_prng; pending = 0; killed = false }
+  in
   t.next_tid <- t.next_tid + 1;
   t.live <- t.live + 1;
+  Hashtbl.replace t.states state.tid state;
   Machine.set_active t.m ~thread:hw true;
   Heap.push t.events ~time:t.time (fun () ->
       current := Some (t, state);
-      exec t state f)
+      if state.killed then retire t state else exec t state f)
 
 let run ?until t =
   let saved = !current in
@@ -103,7 +163,7 @@ let work n =
 let access kind addr =
   let t, state = ctx () in
   let cost = Machine.access t.m ~now:t.time ~thread:state.hw ~addr ~kind in
-  suspend (cost + take_pending state)
+  suspend_tagged (Access_op (kind, addr)) (cost + take_pending state)
 
 let read addr = access Machine.Read addr
 let write addr = access Machine.Write addr
@@ -113,7 +173,7 @@ let access_pipelined ~factor ~kind addr =
   assert (factor >= 1);
   let t, state = ctx () in
   let cost = Machine.access t.m ~now:t.time ~thread:state.hw ~addr ~kind in
-  suspend (max 1 (cost / factor) + take_pending state)
+  suspend_tagged (Access_op (kind, addr)) (max 1 (cost / factor) + take_pending state)
 
 let charge_read addr =
   let t, state = ctx () in
@@ -129,4 +189,4 @@ let flush () =
 
 let yield () =
   let _, state = ctx () in
-  suspend (1 + take_pending state)
+  suspend_tagged Yield_op (1 + take_pending state)

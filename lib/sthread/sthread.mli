@@ -12,6 +12,20 @@
 
 type t
 
+exception Killed
+(** Raised inside a thread terminated by {!exit} or {!kill}. Escapes no
+    further than the scheduler: the thread is retired (hardware thread
+    deactivated, exit hooks run) and the simulation continues. *)
+
+type op_tag = Work_op | Access_op of Dps_machine.Machine.kind * int | Yield_op
+(** What a suspension is for — lets fault hooks target specific operation
+    classes (e.g. delay only memory accesses to some address range). *)
+
+type fault = Crash | Stall of int
+(** A fault decision for one scheduling point: [Crash] kills the thread at
+    its next resumption; [Stall n] delays the resumption by [n] extra
+    cycles (thread stall, interrupt, frequency dip, delayed memory). *)
+
 val create : Dps_machine.Machine.t -> t
 val machine : t -> Dps_machine.Machine.t
 
@@ -28,6 +42,35 @@ val now : t -> int
 (** Current simulated time in cycles (last dispatched event). *)
 
 val live_threads : t -> int
+
+(** {1 Thread lifecycle and fault injection} *)
+
+val kill : t -> tid:int -> bool
+(** Mark thread [tid] for death. The thread is destroyed at its next
+    scheduling point: its continuation is discarded (via {!Killed}, so
+    [Fun.protect] finalizers still run), the hardware thread is
+    deactivated and exit hooks fire. Returns [false] if no live thread
+    has that id. May be called from inside or outside the simulation. *)
+
+val exit : unit -> 'a
+(** Terminate the calling simulated thread immediately (raises {!Killed},
+    which the scheduler absorbs). *)
+
+val on_exit : t -> (int -> unit) -> unit
+(** Register a hook called with the thread id whenever a simulated thread
+    retires — normal return, {!exit}, or {!kill}. Hooks run in
+    registration order, inside the dying thread's context, and must not
+    perform charged operations. Runtimes use this to detect crashed
+    clients and reassign their duties. *)
+
+val set_fault_hook :
+  t -> (tid:int -> now:int -> tag:op_tag -> cycles:int -> fault option) option -> unit
+(** Install (or clear) the fault hook consulted at every scheduling point,
+    before the suspension is enqueued: [cycles] is the charge about to be
+    paid and [tag] what it pays for. Returning [Some Crash] kills the
+    thread at that point; [Some (Stall d)] adds [d] cycles. The hook sees
+    every charged operation of every thread, so a deterministic, seeded
+    plan (see [Dps_faults]) yields bit-identical chaos replays. *)
 
 (** {1 Operations available inside a simulated thread} *)
 

@@ -1,15 +1,17 @@
 module Simops = Dps_sthread.Simops
+module Sthread = Dps_sthread.Sthread
 
-type t = { addr : int; mutable locked : bool }
+type t = { addr : int; mutable locked : bool; mutable owner : int }
 
-let create alloc = { addr = Dps_sthread.Alloc.line alloc; locked = false }
-let embed ~addr = { addr; locked = false }
+let create alloc = { addr = Dps_sthread.Alloc.line alloc; locked = false; owner = -1 }
+let embed ~addr = { addr; locked = false; owner = -1 }
 
 let try_acquire t =
   Simops.rmw t.addr;
   if t.locked then false
   else begin
     t.locked <- true;
+    t.owner <- (if Sthread.in_sim () then Sthread.self_id () else -1);
     true
   end
 
@@ -28,9 +30,34 @@ let acquire t =
   in
   loop ()
 
+let acquire_for t ~budget =
+  if not (Sthread.in_sim ()) then try_acquire t
+  else begin
+    let deadline = Sthread.time () + max 0 budget in
+    let b = Backoff.create () in
+    let rec loop () =
+      if try_acquire t then true
+      else if Sthread.time () >= deadline then false
+      else begin
+        Backoff.once b;
+        loop ()
+      end
+    in
+    loop ()
+  end
+
 let release t =
   assert t.locked;
   t.locked <- false;
+  t.owner <- -1;
   Simops.write t.addr
 
 let held t = t.locked
+let owner t = if t.locked then Some t.owner else None
+
+let break_lock t =
+  if t.locked then begin
+    t.locked <- false;
+    t.owner <- -1;
+    Simops.write t.addr
+  end

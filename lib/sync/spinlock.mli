@@ -12,5 +12,22 @@ val embed : addr:int -> t
 
 val acquire : t -> unit
 val try_acquire : t -> bool
+val acquire_for : t -> budget:int -> bool
+(** Spin (with {!Backoff}) until the lock is acquired or [budget]
+    simulated cycles have elapsed; returns whether it was acquired.
+    Self-healing paths use this so a lock abandoned by a crashed holder
+    costs bounded time instead of a hang. Outside the simulation this
+    degrades to a single {!try_acquire}. *)
+
 val release : t -> unit
 val held : t -> bool
+
+val owner : t -> int option
+(** Simulated thread id of the current holder ([Some (-1)] if acquired
+    outside the simulation), or [None] when free. Recovery paths use this
+    to recognise locks abandoned by crashed threads. *)
+
+val break_lock : t -> unit
+(** Force-release, regardless of holder — only sound once the holder is
+    known dead (e.g. its thread was killed while serving). No-op when
+    free. *)

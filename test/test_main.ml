@@ -7,6 +7,7 @@ let () =
       ("sync", Test_sync.suite);
       ("ds", Test_ds.suite);
       ("dps", Test_dps.suite);
+      ("faults", Test_faults.suite);
       ("ffwd", Test_ffwd.suite);
       ("workload", Test_workload.suite);
       ("memcached", Test_memcached.suite);

@@ -209,9 +209,92 @@ let test_alloc_policies () =
   Sthread.run s;
   Alcotest.(check int) "sim alloc node-local" 3 !seen
 
+let test_kill_drops_thread () =
+  let s = mk () in
+  let m = Sthread.machine s in
+  let steps = ref 0 in
+  let exited = ref [] in
+  Sthread.on_exit s (fun tid -> exited := tid :: !exited);
+  Sthread.spawn s ~hw:0 (fun () ->
+      for _ = 1 to 100 do
+        Sthread.work 100;
+        incr steps
+      done);
+  Sthread.run ~until:2_000 s;
+  Alcotest.(check bool) "killed while live" true (Sthread.kill s ~tid:0);
+  Sthread.run s;
+  Alcotest.(check bool) "stopped early" true (!steps < 100);
+  Alcotest.(check int) "none live" 0 (Sthread.live_threads s);
+  Alcotest.(check (list int)) "exit hook fired" [ 0 ] !exited;
+  Alcotest.(check bool) "kill dead thread" false (Sthread.kill s ~tid:0);
+  (* hardware thread released: solo work is undilated again *)
+  Alcotest.(check int) "hw released" 100 (Machine.work_cost m ~thread:1 100)
+
+let test_exit_terminates () =
+  let s = mk () in
+  let after = ref false in
+  let exited = ref [] in
+  Sthread.on_exit s (fun tid -> exited := tid :: !exited);
+  Sthread.spawn s ~hw:0 (fun () ->
+      Sthread.work 10;
+      if not !after then Sthread.exit ();
+      after := true);
+  Sthread.spawn s ~hw:2 (fun () -> Sthread.work 50);
+  Sthread.run s;
+  Alcotest.(check bool) "code after exit skipped" false !after;
+  Alcotest.(check int) "none live" 0 (Sthread.live_threads s);
+  Alcotest.(check (list int)) "both exits hooked" [ 1; 0 ] !exited
+
+let test_kill_runs_protect_finalizers () =
+  let s = mk () in
+  let finalized = ref false in
+  Sthread.spawn s ~hw:0 (fun () ->
+      Fun.protect
+        ~finally:(fun () -> finalized := true)
+        (fun () ->
+          while true do
+            Sthread.work 100
+          done));
+  Sthread.run ~until:1_000 s;
+  ignore (Sthread.kill s ~tid:0);
+  Sthread.run s;
+  Alcotest.(check bool) "finalizer ran" true !finalized
+
+let test_fault_hook_stall_and_crash () =
+  let s = mk () in
+  (* stall thread 0's first suspension by 5000 cycles; crash thread 1 at
+     its first memory access *)
+  Sthread.set_fault_hook s
+    (Some
+       (fun ~tid ~now:_ ~tag ~cycles:_ ->
+         match (tid, tag) with
+         | 0, _ -> Some (Sthread.Stall 5_000)
+         | 1, Sthread.Access_op (_, _) -> Some Sthread.Crash
+         | _ -> None));
+  let t0_done = ref (-1) in
+  let t1_accesses = ref 0 in
+  Sthread.spawn s ~hw:0 (fun () ->
+      Sthread.work 100;
+      t0_done := Sthread.time ());
+  let m = Sthread.machine s in
+  let a = Machine.alloc m (Machine.On_node 0) ~lines:4 in
+  Sthread.spawn s ~hw:2 (fun () ->
+      Sthread.read a;
+      incr t1_accesses;
+      Sthread.read (a + 1);
+      incr t1_accesses);
+  Sthread.run s;
+  Alcotest.(check int) "stall added to cost" 5_100 !t0_done;
+  Alcotest.(check int) "crashed at first access" 0 !t1_accesses;
+  Alcotest.(check int) "none live" 0 (Sthread.live_threads s)
+
 let suite =
   [
     ("single thread runs", `Quick, test_single_thread_runs);
+    ("kill drops thread", `Quick, test_kill_drops_thread);
+    ("exit terminates", `Quick, test_exit_terminates);
+    ("kill runs finalizers", `Quick, test_kill_runs_protect_finalizers);
+    ("fault hook stall and crash", `Quick, test_fault_hook_stall_and_crash);
     ("alloc policies", `Quick, test_alloc_policies);
     ("threads interleave", `Quick, test_threads_interleave);
     ("memory access charges time", `Quick, test_memory_access_charges_time);
