@@ -108,7 +108,13 @@ let run () =
   print_endline "\n=== Bechamel kernels (real time per run) ===";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false () in
+  let quick = Bench_common.quick in
+  let cfg =
+    Benchmark.cfg
+      ~limit:(if quick then 500 else 2000)
+      ~quota:(Time.second (if quick then 0.05 else 0.25))
+      ~stabilize:false ()
+  in
   let raw_results = Benchmark.all cfg instances (tests ()) in
   let results = List.map (fun instance -> Analyze.all ols instance raw_results) instances in
   let results = Analyze.merge ols instances results in

@@ -197,11 +197,70 @@ let run_ffwd (module S : SET) ~config ~servers (w : workload) =
            ignore (shard_call key (fun s -> match S.lookup s key with Some v -> v | None -> -1))))
     ()
 
-(* --- printing --- *)
+(* --- printing and machine-readable output ---
 
-let print_header title = Printf.printf "\n=== %s ===\n%!" title
+   While an experiment runs, every table row also lands in a JSON buffer;
+   [Bench_common.json_end] (called by bench/main.ml around each experiment)
+   writes it to BENCH_<experiment>.json next to the text output. Records are
+   flat: {"section", "series", "x", <metric>: float, ...} — one per plotted
+   point, so downstream tooling re-plots figures without scraping tables. *)
+
+let json_buf : Buffer.t option ref = ref None
+let json_first = ref true
+let json_section = ref ""
+
+let json_begin () =
+  json_buf := Some (Buffer.create 4096);
+  json_first := true;
+  json_section := ""
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_record ~series ~x (fields : (string * float) list) =
+  match !json_buf with
+  | None -> ()
+  | Some b ->
+      if not !json_first then Buffer.add_string b ",\n";
+      json_first := false;
+      Buffer.add_string b
+        (Printf.sprintf "  {\"section\": \"%s\", \"series\": \"%s\", \"x\": \"%s\""
+           (json_escape !json_section) (json_escape series) (json_escape x));
+      List.iter
+        (fun (k, v) ->
+          let v = if Float.is_finite v then Printf.sprintf "%.6g" v else "null" in
+          Buffer.add_string b (Printf.sprintf ", \"%s\": %s" (json_escape k) v))
+        fields;
+      Buffer.add_char b '}'
+
+let json_end ~name =
+  match !json_buf with
+  | None -> ()
+  | Some b ->
+      json_buf := None;
+      let oc = open_out (Printf.sprintf "BENCH_%s.json" name) in
+      output_string oc "[\n";
+      output_string oc (Buffer.contents b);
+      output_string oc "\n]\n";
+      close_out oc
+
+let print_header title =
+  json_section := title;
+  Printf.printf "\n=== %s ===\n%!" title
 
 let print_series ~label (xs : (string * Driver.result) list) =
+  List.iter
+    (fun (x, r) -> json_record ~series:label ~x [ ("throughput_mops", r.Driver.throughput_mops) ])
+    xs;
   Printf.printf "%-14s %s\n" label
     (String.concat "  " (List.map (fun (x, _) -> Printf.sprintf "%10s" x) xs));
   Printf.printf "%-14s %s\n%!" ""
@@ -209,6 +268,11 @@ let print_series ~label (xs : (string * Driver.result) list) =
        (List.map (fun (_, r) -> Printf.sprintf "%10.3f" r.Driver.throughput_mops) xs))
 
 let print_misses ~label (xs : (string * Driver.result) list) =
+  List.iter
+    (fun (x, r) ->
+      json_record ~series:(label ^ "/misses") ~x
+        [ ("llc_misses_per_op", r.Driver.llc_misses_per_op) ])
+    xs;
   Printf.printf "%-14s %s  (LLC misses/op)\n%!" (label ^ " miss")
     (String.concat "  "
        (List.map (fun (_, r) -> Printf.sprintf "%10.2f" r.Driver.llc_misses_per_op) xs))

@@ -30,9 +30,9 @@ let make which sched ~threads =
   | Stock -> Variants.stock sched ~nclients:threads ~buckets ~capacity
   | Parsec -> Variants.parsec sched ~nclients:threads ~buckets ~capacity
   | Ffwd_mc -> Variants.ffwd_mc sched ~nclients:threads ~buckets ~capacity
-  | Dps_mc -> Variants.dps_mc sched ~nclients:threads ~locality_size:10 ~buckets ~capacity
+  | Dps_mc -> Variants.dps_mc sched ~nclients:threads ~locality_size:10 ~buckets ~capacity ()
   | Dps_parsec ->
-      Variants.dps_parsec sched ~nclients:threads ~locality_size:10 ~buckets ~capacity
+      Variants.dps_parsec sched ~nclients:threads ~locality_size:10 ~buckets ~capacity ()
 
 let run which ~threads ~set_pct ~val_lines ~duration =
   let m = Dps_machine.Machine.create scaled_config in
@@ -116,6 +116,13 @@ let latency () =
   List.iter
     (fun which ->
       let r = run which ~threads:80 ~set_pct:1 ~val_lines:2 ~duration:default_duration in
+      json_record ~series:(name_of which) ~x:"80"
+        [
+          ("p50", float_of_int r.Driver.p50);
+          ("p99", float_of_int r.Driver.p99);
+          ("p999", float_of_int r.Driver.p999);
+          ("mean_latency", r.Driver.mean_latency);
+        ];
       Printf.printf "%-12s %10d %10d %10d %12.1f\n%!" (name_of which) r.Driver.p50 r.Driver.p99
         r.Driver.p999 r.Driver.mean_latency)
     variants

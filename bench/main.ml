@@ -27,10 +27,16 @@ let experiments : (string * string * (unit -> unit)) list =
     ("fig11", "bst panels", Fig_sets.fig11);
     ("fig12", "skip-list panels", Fig_sets.fig12);
     ("fig13", "memcached panels + tail latency", Fig_mc.all);
+    ("net", "memcached over the simulated network front-end", Fig_net.all);
     ("ablations", "DPS design-knob ablations", Fig_ablation.all);
     ("faults", "throughput under injected crashes/stalls", Fig_faults.all);
     ("bechamel", "Bechamel kernels (one per figure)", Bechamel_suite.run);
   ]
+
+(* Every experiment's table rows also land in BENCH_<name>.json. *)
+let with_json name f () =
+  Bench_common.json_begin ();
+  Fun.protect ~finally:(fun () -> Bench_common.json_end ~name) f
 
 let usage () =
   print_endline "usage: main.exe [experiment ...]   (default: all)";
@@ -45,7 +51,7 @@ let () =
       List.iter
         (fun (name, _, f) ->
           let t = Unix.gettimeofday () in
-          f ();
+          with_json name f ();
           Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t))
         experiments;
       Printf.printf "\nAll experiments done in %.1fs\n" (Unix.gettimeofday () -. t0)
@@ -53,7 +59,7 @@ let () =
       List.iter
         (fun name ->
           match List.find_opt (fun (n, _, _) -> n = name) experiments with
-          | Some (_, _, f) -> f ()
+          | Some (_, _, f) -> with_json name f ()
           | None ->
               Printf.printf "unknown experiment %S\n" name;
               usage ();

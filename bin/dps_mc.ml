@@ -28,9 +28,9 @@ let run_mc variant ycsb threads items value_bytes set_pct duration scaled seed =
     | Stock -> Variants.stock sched ~nclients:threads ~buckets ~capacity
     | Parsec -> Variants.parsec sched ~nclients:threads ~buckets ~capacity
     | Ffwd -> Variants.ffwd_mc sched ~nclients:threads ~buckets ~capacity
-    | Dps_v -> Variants.dps_mc sched ~nclients:threads ~locality_size:10 ~buckets ~capacity
+    | Dps_v -> Variants.dps_mc sched ~nclients:threads ~locality_size:10 ~buckets ~capacity ()
     | Dps_parsec ->
-        Variants.dps_parsec sched ~nclients:threads ~locality_size:10 ~buckets ~capacity
+        Variants.dps_parsec sched ~nclients:threads ~locality_size:10 ~buckets ~capacity ()
   in
   let val_lines = max 1 ((value_bytes + 63) / 64) in
   v.Variants.populate ~keys:(Array.init items Fun.id) ~val_lines;

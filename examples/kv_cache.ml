@@ -47,10 +47,10 @@ let () =
       run_variant (fun sched -> Variants.stock sched ~nclients:threads ~buckets:items ~capacity:(2 * items));
       run_variant (fun sched ->
           Variants.dps_mc sched ~nclients:threads ~locality_size:10 ~buckets:items
-            ~capacity:(2 * items));
+            ~capacity:(2 * items) ());
       run_variant (fun sched ->
           Variants.dps_parsec sched ~nclients:threads ~locality_size:10 ~buckets:items
-            ~capacity:(2 * items));
+            ~capacity:(2 * items) ());
     ]
   in
   Printf.printf "%-12s %12s %10s %10s %14s\n" "variant" "Mops/s" "p50 (cyc)" "p99 (cyc)" "LLC miss/op";

@@ -19,9 +19,12 @@ type t = {
   attach : int -> unit;  (** call once per client thread, with its index *)
   get : int -> bool;
   set : key:int -> val_lines:int -> unit;
+  del : int -> bool;  (** delete; [true] if the key was present *)
   finish : unit -> unit;  (** call when the client stops issuing *)
   populate : keys:int array -> val_lines:int -> unit;  (** cold pre-load *)
   client_hw : int -> int;  (** where to pin client [i] *)
+  idle : (unit -> unit) option;
+      (** bounded background duty for an idle client (DPS ring draining) *)
 }
 
 let shared_core sched ~recency ~buckets ~capacity =
@@ -41,10 +44,12 @@ let shared sched ~name ~recency ~nclients ~buckets ~capacity =
     attach = (fun _ -> ());
     get = (fun key -> Mc_core.get core key);
     set = (fun ~key ~val_lines -> Mc_core.set core ~key ~val_lines);
+    del = (fun key -> Mc_core.delete core key);
     finish = (fun () -> ());
     populate =
       (fun ~keys ~val_lines -> Array.iter (fun key -> Mc_core.set core ~key ~val_lines) keys);
     client_hw = default_placement sched nclients;
+    idle = None;
   }
 
 let stock sched ~nclients ~buckets ~capacity =
@@ -66,6 +71,9 @@ let ffwd_mc sched ~nclients ~buckets ~capacity =
     name = "ffwd";
     attach = (fun c -> Dps_ffwd.Ffwd.attach f ~client:c);
     get = (fun key -> Dps_ffwd.Ffwd.call f ~server:0 (fun () -> if Mc_core.get core key then 1 else 0) = 1);
+    del =
+      (fun key ->
+        Dps_ffwd.Ffwd.call f ~server:0 (fun () -> if Mc_core.delete core key then 1 else 0) = 1);
     set =
       (fun ~key ~val_lines ->
         ignore
@@ -76,12 +84,14 @@ let ffwd_mc sched ~nclients ~buckets ~capacity =
     populate =
       (fun ~keys ~val_lines -> Array.iter (fun key -> Mc_core.set core ~key ~val_lines) keys);
     client_hw = (fun i -> placement.(1 + (i mod (nplaced - 1))) (* skip the server's slot *));
+    idle = None;
   }
 
-let dps_generic sched ~name ~recency ~get_mode ~nclients ~locality_size ~buckets ~capacity =
+let dps_generic sched ~name ~recency ~get_mode ?(self_healing = false) ~nclients
+    ~locality_size ~buckets ~capacity () =
   let nparts = (nclients + locality_size - 1) / locality_size in
   let dps =
-    Dps.create sched ~nclients ~locality_size
+    Dps.create sched ~nclients ~locality_size ~self_healing
       ~hash:(fun k -> k)
       ~mk_data:(fun (info : Dps.partition_info) ->
         Mc_core.create info.Dps.alloc
@@ -100,6 +110,7 @@ let dps_generic sched ~name ~recency ~get_mode ~nclients ~locality_size ~buckets
         | `Delegate -> Dps.call dps ~key op
         | `Local -> Dps.execute_local dps ~key op)
         = 1);
+    del = (fun key -> Dps.call dps ~key (fun core -> if Mc_core.delete core key then 1 else 0) = 1);
     set =
       (fun ~key ~val_lines ->
         Dps.execute_async dps ~key (fun core ->
@@ -117,12 +128,13 @@ let dps_generic sched ~name ~recency ~get_mode ~nclients ~locality_size ~buckets
             Mc_core.set core ~key ~val_lines)
           keys);
     client_hw = (fun i -> Dps.client_hw dps i);
+    idle = Some (fun () -> ignore (Dps.serve dps ~max:16));
   }
 
-let dps_mc sched ~nclients ~locality_size ~buckets ~capacity =
-  dps_generic sched ~name:"dps" ~recency:Mc_core.Lru_list ~get_mode:`Delegate ~nclients
-    ~locality_size ~buckets ~capacity
+let dps_mc sched ?self_healing ~nclients ~locality_size ~buckets ~capacity () =
+  dps_generic sched ~name:"dps" ~recency:Mc_core.Lru_list ~get_mode:`Delegate ?self_healing
+    ~nclients ~locality_size ~buckets ~capacity ()
 
-let dps_parsec sched ~nclients ~locality_size ~buckets ~capacity =
-  dps_generic sched ~name:"dps-parsec" ~recency:Mc_core.Clock ~get_mode:`Local ~nclients
-    ~locality_size ~buckets ~capacity
+let dps_parsec sched ?self_healing ~nclients ~locality_size ~buckets ~capacity () =
+  dps_generic sched ~name:"dps-parsec" ~recency:Mc_core.Clock ~get_mode:`Local ?self_healing
+    ~nclients ~locality_size ~buckets ~capacity ()

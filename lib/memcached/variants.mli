@@ -6,9 +6,16 @@ type t = {
   attach : int -> unit;  (** call once per client thread, with its index *)
   get : int -> bool;
   set : key:int -> val_lines:int -> unit;
+  del : int -> bool;  (** delete; [true] if the key was present *)
   finish : unit -> unit;  (** call when the client stops issuing *)
   populate : keys:int array -> val_lines:int -> unit;  (** cold pre-load *)
   client_hw : int -> int;  (** where to pin client [i] *)
+  idle : (unit -> unit) option;
+      (** background duty for an idle client, if the variant has one: DPS
+          clients must keep draining delegation rings even when they have
+          no requests of their own (an event-loop poller otherwise blocks
+          with peers' operations queued on its partition). Bounded work per
+          call; callers alternate it with timed blocking. *)
 }
 
 val stock :
@@ -26,20 +33,25 @@ val ffwd_mc :
 
 val dps_mc :
   Dps_sthread.Sthread.t ->
+  ?self_healing:bool ->
   nclients:int ->
   locality_size:int ->
   buckets:int ->
   capacity:int ->
+  unit ->
   t
 (** Hash, LRU and slab all partitioned with DPS; sets delegated
-    asynchronously, gets synchronously. *)
+    asynchronously, gets synchronously. [self_healing] (default false)
+    arms the fault-tolerant delegation paths of {!Dps.create}. *)
 
 val dps_parsec :
   Dps_sthread.Sthread.t ->
+  ?self_healing:bool ->
   nclients:int ->
   locality_size:int ->
   buckets:int ->
   capacity:int ->
+  unit ->
   t
 (** DPS partitioning over the ParSec-style core; store-free gets run
     locally (§4.4 local execution), sets delegated asynchronously. *)

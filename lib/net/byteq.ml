@@ -1,0 +1,53 @@
+type t = { mutable buf : Bytes.t; mutable start : int; mutable stop : int }
+
+let create () = { buf = Bytes.create 256; start = 0; stop = 0 }
+let length q = q.stop - q.start
+
+let ensure q extra =
+  let len = length q in
+  if q.stop + extra > Bytes.length q.buf then begin
+    (* compact; grow only if the live window plus the new chunk needs it *)
+    let cap = ref (Bytes.length q.buf) in
+    while len + extra > !cap do
+      cap := !cap * 2
+    done;
+    let nbuf = if !cap = Bytes.length q.buf then q.buf else Bytes.create !cap in
+    Bytes.blit q.buf q.start nbuf 0 len;
+    q.buf <- nbuf;
+    q.start <- 0;
+    q.stop <- len
+  end
+
+let push q s =
+  let n = String.length s in
+  if n > 0 then begin
+    ensure q n;
+    Bytes.blit_string s 0 q.buf q.stop n;
+    q.stop <- q.stop + n
+  end
+
+let get q i =
+  if i < 0 || i >= length q then invalid_arg "Byteq.get";
+  Bytes.get q.buf (q.start + i)
+
+let sub q ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > length q then invalid_arg "Byteq.sub";
+  Bytes.sub_string q.buf (q.start + pos) len
+
+let drop q n =
+  if n < 0 || n > length q then invalid_arg "Byteq.drop";
+  q.start <- q.start + n;
+  if q.start = q.stop then begin
+    q.start <- 0;
+    q.stop <- 0
+  end
+
+let take q ~max =
+  let n = min max (length q) in
+  let s = sub q ~pos:0 ~len:n in
+  drop q n;
+  s
+
+let clear q =
+  q.start <- 0;
+  q.stop <- 0

@@ -1,0 +1,255 @@
+module Sthread = Dps_sthread.Sthread
+module Machine = Dps_machine.Machine
+module Topology = Dps_machine.Topology
+module Net = Dps_net.Net
+module Wire = Dps_net.Wire
+module Variants = Dps_memcached.Variants
+
+type config = {
+  npollers : int;
+  max_conns : int;
+  batch_limit : int;
+  recv_chunk : int;
+  val_lines : int;
+  poll_interval : int;
+}
+
+let default_config =
+  {
+    npollers = 40;
+    max_conns = 1024;
+    batch_limit = 16;
+    recv_chunk = 2048;
+    val_lines = 2;
+    poll_interval = 2000;
+  }
+
+type stats = {
+  mutable conns : int;
+  mutable requests : int;
+  mutable gets : int;
+  mutable lookups : int;
+  mutable hits : int;
+  mutable sets : int;
+  mutable dels : int;
+  mutable bad_requests : int;
+  mutable batches : int;
+  mutable parks : int;
+}
+
+type sconn = {
+  c : Net.conn;
+  dec : Wire.decoder;
+  out : Buffer.t;
+  mutable queued : bool;
+}
+
+type poller = {
+  idx : int;
+  hw : int;
+  socket : int;
+  mutable tid : int;  (** simulated thread id, known once the poller runs *)
+  ready : sconn Queue.t;
+}
+
+type t = {
+  sched : Sthread.t;
+  net : Net.t;
+  backend : Variants.t;
+  cfg : config;
+  pollers : poller array;
+  by_socket : poller list array;
+  rr : int array;  (** per-socket round-robin cursor *)
+  mutable acceptor_tid : int;
+  mutable stopping : bool;
+  st : stats;
+  payload : string;  (** value bytes served on a hit *)
+}
+
+let stats t = t.st
+
+let wake_poller t p = if p.tid >= 0 then ignore (Sthread.unpark t.sched ~tid:p.tid)
+
+let enqueue t p sc =
+  if not sc.queued then begin
+    sc.queued <- true;
+    Queue.push sc p.ready;
+    wake_poller t p
+  end
+
+(* Route one parsed request into the backend and append its response. *)
+let handle t sc req =
+  let out r = Wire.encode_response sc.out r in
+  t.st.requests <- t.st.requests + 1;
+  match req with
+  | Wire.Get keys ->
+      t.st.gets <- t.st.gets + 1;
+      let vs =
+        List.filter_map
+          (fun k ->
+            match int_of_string_opt k with
+            | None -> None
+            | Some key ->
+                t.st.lookups <- t.st.lookups + 1;
+                if t.backend.Variants.get key then begin
+                  t.st.hits <- t.st.hits + 1;
+                  Some { Wire.vkey = k; vflags = 0; vdata = t.payload }
+                end
+                else None)
+          keys
+      in
+      out (Wire.Values vs)
+  | Wire.Set { key; data; noreply; _ } -> (
+      match int_of_string_opt key with
+      | Some key ->
+          t.st.sets <- t.st.sets + 1;
+          t.backend.Variants.set ~key
+            ~val_lines:(max 1 ((String.length data + 63) / 64));
+          if not noreply then out Wire.Stored
+      | None ->
+          t.st.bad_requests <- t.st.bad_requests + 1;
+          if not noreply then out (Wire.Client_error "bad key"))
+  | Wire.Delete { key; noreply } -> (
+      match int_of_string_opt key with
+      | Some key ->
+          t.st.dels <- t.st.dels + 1;
+          let found = t.backend.Variants.del key in
+          if not noreply then out (if found then Wire.Deleted else Wire.Not_found)
+      | None ->
+          t.st.bad_requests <- t.st.bad_requests + 1;
+          if not noreply then out (Wire.Client_error "bad key"))
+
+(* One service round for a readable connection: drain bytes, serve up to
+   [batch_limit] requests, write the batched response. *)
+let service t p sc =
+  let data = Net.recv t.net sc.c ~max:t.cfg.recv_chunk in
+  Wire.feed sc.dec data;
+  let served = ref 0 in
+  let parsing = ref true in
+  while !parsing && !served < t.cfg.batch_limit do
+    match Wire.next_request sc.dec with
+    | Wire.Need_more -> parsing := false
+    | Wire.Bad msg ->
+        t.st.bad_requests <- t.st.bad_requests + 1;
+        Wire.encode_response sc.out (Wire.Client_error msg);
+        incr served
+    | Wire.Item req ->
+        handle t sc req;
+        incr served
+  done;
+  if Buffer.length sc.out > 0 then begin
+    t.st.batches <- t.st.batches + 1;
+    Net.reply t.net sc.c (Buffer.contents sc.out);
+    Buffer.clear sc.out
+  end;
+  (* More buffered bytes, or a full batch with frames still in the decoder:
+     take another round (after peers get their turn). A partial frame alone
+     parks until more bytes arrive. *)
+  if Net.recv_ready sc.c > 0 || (!served >= t.cfg.batch_limit && Wire.buffered sc.dec > 0)
+  then enqueue t p sc
+
+let poller_body t p () =
+  p.tid <- Sthread.self_id ();
+  t.backend.Variants.attach p.idx;
+  while not t.stopping do
+    match Queue.take_opt p.ready with
+    | Some sc ->
+        sc.queued <- false;
+        service t p sc
+    | None -> (
+        t.st.parks <- t.st.parks + 1;
+        (* A DPS poller cannot block unconditionally: peers' delegated
+           operations queue on its partition ring whether or not it has
+           connections of its own, so it alternates bounded background
+           serving with a timed park — epoll_wait with a timeout. *)
+        match t.backend.Variants.idle with
+        | None -> Sthread.park ()
+        | Some idle ->
+            idle ();
+            ignore (Sthread.park_for t.cfg.poll_interval);
+            idle ())
+  done;
+  t.backend.Variants.finish ()
+
+let acceptor_body t () =
+  t.acceptor_tid <- Sthread.self_id ();
+  let continue = ref true in
+  while !continue do
+    match Net.accept t.net with
+    | None -> continue := false
+    | Some c ->
+        if t.stopping || t.st.conns >= t.cfg.max_conns then Net.refuse t.net c
+        else begin
+          t.st.conns <- t.st.conns + 1;
+          let socket = Net.socket_of_conn c in
+          (* place on the NIC's socket so ring and partition traffic stay
+             local; fall back to global round-robin if that socket has no
+             poller *)
+          let candidates =
+            match t.by_socket.(socket) with [] -> Array.to_list t.pollers | ps -> ps
+          in
+          let n = List.length candidates in
+          let p = List.nth candidates (t.rr.(socket) mod n) in
+          t.rr.(socket) <- t.rr.(socket) + 1;
+          let sc = { c; dec = Wire.decoder (); out = Buffer.create 256; queued = false } in
+          Net.set_on_readable c (fun () -> enqueue t p sc);
+          if Net.recv_ready c > 0 then enqueue t p sc
+        end
+  done
+
+let start sched net ~backend cfg =
+  let m = Sthread.machine sched in
+  let topo = Machine.topology m in
+  let pollers =
+    Array.init cfg.npollers (fun i ->
+        let hw = backend.Variants.client_hw i in
+        {
+          idx = i;
+          hw;
+          socket = Topology.socket_of_thread topo hw;
+          tid = -1;
+          ready = Queue.create ();
+        })
+  in
+  let by_socket = Array.make topo.Topology.sockets [] in
+  Array.iter (fun p -> by_socket.(p.socket) <- by_socket.(p.socket) @ [ p ]) pollers;
+  let t =
+    {
+      sched;
+      net;
+      backend;
+      cfg;
+      pollers;
+      by_socket;
+      rr = Array.make topo.Topology.sockets 0;
+      acceptor_tid = -1;
+      stopping = false;
+      st =
+        {
+          conns = 0;
+          requests = 0;
+          gets = 0;
+          lookups = 0;
+          hits = 0;
+          sets = 0;
+          dels = 0;
+          bad_requests = 0;
+          batches = 0;
+          parks = 0;
+        };
+      payload = String.make (cfg.val_lines * 64) 'v';
+    }
+  in
+  Array.iter (fun p -> Sthread.spawn sched ~hw:p.hw (poller_body t p)) pollers;
+  (* acceptor on the machine's last hardware thread: a second hyperthread
+     the placement rule leaves free below full occupancy, and it parks
+     (releasing the core) whenever no connection is pending *)
+  Sthread.spawn sched ~hw:(Topology.nthreads topo - 1) (acceptor_body t);
+  t
+
+let stop t =
+  if not t.stopping then begin
+    t.stopping <- true;
+    Net.unlisten t.net;
+    Array.iter (fun p -> wake_poller t p) t.pollers
+  end

@@ -1,0 +1,67 @@
+(** Memcached server event loop over the simulated network front-end.
+
+    One acceptor thread plus [npollers] per-core poller threads. The
+    acceptor places each incoming connection on a poller of the NIC's own
+    socket (round-robin within the socket), so a connection's request
+    bytes, response bytes and — under a DPS backend — most of its keys'
+    partition traffic stay socket-local; it refuses connections beyond
+    [max_conns] (the connection-limit half of the backpressure policy; the
+    per-connection receive window in {!Dps_net.Net} is the other half).
+
+    Pollers do blocking I/O: each parks until one of its connections turns
+    readable, then drains it — charged ring reads, incremental wire
+    parsing, request routing into the backend (a {!Dps_memcached.Variants}
+    record: shared-memory, ffwd or DPS; under DPS a poller is a DPS client
+    and serves its peers while awaiting its own delegations), and one
+    batched response write per service round (at most [batch_limit]
+    requests), so response packets amortize link serialization.
+
+    Pollers are pinned by the backend's own placement rule, so under DPS
+    the poller set *is* the client set of the paper's runtime. *)
+
+module Sthread := Dps_sthread.Sthread
+module Net := Dps_net.Net
+
+type config = {
+  npollers : int;
+  max_conns : int;  (** connections beyond this are refused *)
+  batch_limit : int;  (** max requests served per poller service round *)
+  recv_chunk : int;  (** max bytes drained per {!Net.recv} call *)
+  val_lines : int;  (** cache lines per value payload served on a hit *)
+  poll_interval : int;
+      (** timed-park interval for backends with an [idle] duty (DPS): an
+          idle poller drains its delegation ring, parks for at most this
+          many cycles, and repeats — a blocked poller must not starve
+          peers delegating into its partition *)
+}
+
+val default_config : config
+(** 40 pollers, 1024 connections, 16-request batches, 2 KB recv chunks,
+    2-line (128 B) values, 2000-cycle poll interval. *)
+
+type stats = {
+  mutable conns : int;
+  mutable requests : int;  (** well-formed requests served *)
+  mutable gets : int;  (** get requests (a multi-get counts once) *)
+  mutable lookups : int;  (** individual keys looked up *)
+  mutable hits : int;
+  mutable sets : int;
+  mutable dels : int;
+  mutable bad_requests : int;  (** malformed frames answered CLIENT_ERROR *)
+  mutable batches : int;  (** batched response writes *)
+  mutable parks : int;  (** poller blocking episodes *)
+}
+
+type t
+
+val start : Sthread.t -> Net.t -> backend:Dps_memcached.Variants.t -> config -> t
+(** Spawn the acceptor and pollers (pinned by [backend.client_hw]). Call
+    before [Sthread.run]; the server serves until {!stop}. *)
+
+val stop : t -> unit
+(** Initiate shutdown from any context (typically an {!Sthread.at} event at
+    the measurement horizon): stops accepting, wakes every parked thread;
+    pollers finish their current round, run the backend's [finish] (for DPS
+    this drains in-flight delegations), and exit. *)
+
+val stats : t -> stats

@@ -10,7 +10,17 @@ type op_tag = Work_op | Access_op of Machine.kind * int | Yield_op
 
 type fault = Crash | Stall of int
 
-type tstate = { tid : int; hw : int; prng : Prng.t; mutable pending : int; mutable killed : bool }
+type tstate = {
+  tid : int;
+  hw : int;
+  prng : Prng.t;
+  mutable pending : int;
+  mutable killed : bool;
+  mutable parked : (unit, unit) Effect.Deep.continuation option;
+  mutable permit : bool;
+  mutable park_gen : int;  (* invalidates stale park_for timeouts *)
+  mutable timed_out : bool;
+}
 
 type t = {
   m : Machine.t;
@@ -54,6 +64,7 @@ let on_exit t hook = t.exit_hooks <- t.exit_hooks @ [ hook ]
 let set_fault_hook t hook = t.fault_hook <- hook
 
 type _ Effect.t += Suspend : (int * op_tag) -> unit Effect.t
+type _ Effect.t += Park : unit Effect.t
 
 let suspend_tagged tag cycles = Effect.perform (Suspend (cycles, tag))
 let suspend cycles = suspend_tagged Work_op cycles
@@ -62,12 +73,42 @@ let exit () =
   ignore (ctx ());
   raise Killed
 
+(* Resume a parked thread: the hardware thread was released while blocked
+   (the hyperthread pair is genuinely idle), so re-activate it first. *)
+let resume_parked t (state : tstate) k =
+  Heap.push t.events ~time:t.time (fun () ->
+      Machine.set_active t.m ~thread:state.hw true;
+      current := Some (t, state);
+      if state.killed then Effect.Deep.discontinue k Killed else Effect.Deep.continue k ())
+
 let kill t ~tid =
   match Hashtbl.find_opt t.states tid with
   | Some state ->
       state.killed <- true;
+      (match state.parked with
+      | Some k ->
+          state.parked <- None;
+          resume_parked t state k
+      | None -> ());
       true
   | None -> false
+
+let unpark t ~tid =
+  match Hashtbl.find_opt t.states tid with
+  | None -> false
+  | Some state ->
+      (match state.parked with
+      | Some k ->
+          state.parked <- None;
+          resume_parked t state k
+      | None -> state.permit <- true);
+      true
+
+let at t ~time f =
+  if time < t.time then invalid_arg "Sthread.at: time in the past";
+  Heap.push t.events ~time (fun () ->
+      current := None;
+      f ())
 
 (* Retire a thread — normal return, voluntary [exit], or [kill]. Exit hooks
    run with [current] still pointing at the dying thread, but must not
@@ -108,12 +149,37 @@ let rec exec t state f =
                   Heap.push t.events ~time:(t.time + max 0 n + delay) (fun () ->
                       current := Some (t, state);
                       if state.killed then discontinue k Killed else continue k ()))
+          | Park ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  if state.permit || state.killed then begin
+                    state.permit <- false;
+                    Heap.push t.events ~time:t.time (fun () ->
+                        current := Some (t, state);
+                        if state.killed then discontinue k Killed else continue k ())
+                  end
+                  else begin
+                    (* Blocked threads release the core: the hyperthread
+                       sibling runs undilated until the wakeup. *)
+                    Machine.set_active t.m ~thread:state.hw false;
+                    state.parked <- Some k
+                  end)
           | _ -> None);
     }
 
 and spawn t ~hw f =
   let state =
-    { tid = t.next_tid; hw; prng = Prng.split t.root_prng; pending = 0; killed = false }
+    {
+      tid = t.next_tid;
+      hw;
+      prng = Prng.split t.root_prng;
+      pending = 0;
+      killed = false;
+      parked = None;
+      permit = false;
+      park_gen = 0;
+      timed_out = false;
+    }
   in
   t.next_tid <- t.next_tid + 1;
   t.live <- t.live + 1;
@@ -190,3 +256,59 @@ let flush () =
 let yield () =
   let _, state = ctx () in
   suspend_tagged Yield_op (1 + take_pending state)
+
+let park () =
+  let _, state = ctx () in
+  (* settle batched traversal charges before blocking *)
+  let p = take_pending state in
+  if p > 0 then suspend p;
+  state.park_gen <- state.park_gen + 1;
+  Effect.perform Park
+
+let park_for d =
+  if d <= 0 then invalid_arg "Sthread.park_for";
+  let t, state = ctx () in
+  let p = take_pending state in
+  if p > 0 then suspend p;
+  let gen = state.park_gen + 1 in
+  state.park_gen <- gen;
+  state.timed_out <- false;
+  at t
+    ~time:(t.time + d)
+    (fun () ->
+      (* wake only the park this timeout belongs to *)
+      if state.park_gen = gen && state.parked <> None then begin
+        state.timed_out <- true;
+        ignore (unpark t ~tid:state.tid)
+      end);
+  Effect.perform Park;
+  state.timed_out
+
+type sched = t
+
+module Waitq = struct
+  type t = int Queue.t
+
+  let create () = Queue.create ()
+  let waiters = Queue.length
+
+  let wait q =
+    let _, state = ctx () in
+    Queue.push state.tid q;
+    park ()
+
+  let signal sched q =
+    let rec go () =
+      match Queue.take_opt q with
+      | None -> false
+      | Some tid -> if unpark sched ~tid then true else go () (* skip dead waiters *)
+    in
+    go ()
+
+  let broadcast sched q =
+    let n = ref 0 in
+    while signal sched q do
+      incr n
+    done;
+    !n
+end

@@ -118,3 +118,62 @@ val flush : unit -> unit
 
 val yield : unit -> unit
 (** Give up the processor for one cycle. *)
+
+(** {1 Blocking and wakeups}
+
+    Blocking I/O for the simulated network front-end: a thread that has
+    nothing to do parks (releasing its hardware thread, so the hyperthread
+    sibling runs undilated) until another thread — or a timer/event callback
+    — unparks it. A wakeup permit makes the pair race-free: an {!unpark}
+    that arrives while the target is still running is remembered, and the
+    target's next {!park} returns immediately — no lost wakeups. *)
+
+val park : unit -> unit
+(** Block the calling thread until {!unpark} targets it. Returns without
+    blocking (after consuming the permit) if an unpark already arrived.
+    Batched {!charge_read} costs are settled before blocking. A parked
+    thread can still be {!kill}ed; it dies at the wakeup point. *)
+
+val park_for : int -> bool
+(** Like {!park} but with a timeout of [d > 0] cycles: returns [true] if
+    the timeout fired first, [false] if an {!unpark} (or pending permit)
+    woke the thread sooner. The epoll-with-timeout of the simulated world —
+    event-loop pollers use it to alternate blocking with bounded background
+    serving (e.g. draining DPS delegation rings). *)
+
+val unpark : t -> tid:int -> bool
+(** Wake thread [tid]: resume it at the current simulated time if it is
+    parked, otherwise leave a wakeup permit for its next {!park}. Returns
+    [false] if no live thread has that id. Callable from inside the
+    simulation, from outside, or from an {!at} callback. *)
+
+val at : t -> time:int -> (unit -> unit) -> unit
+(** Schedule [f] to run at simulated time [time] as a bare event — not a
+    thread: it must not perform charged operations, but may {!spawn},
+    {!unpark}, schedule further events, and mutate model state. This is
+    how the network model runs link/DMA completions and client fleets
+    without occupying simulated cores. *)
+
+type sched = t
+
+(** FIFO wait queues over {!park}/{!unpark} — condition-variable style
+    blocking with deterministic wakeup order (first waiter in, first woken).
+    A thread should block on at most one queue at a time, and only via
+    {!Waitq.wait} (mixing direct {!unpark} with queued waits can spend a
+    signal on a spuriously-permitted waiter). *)
+module Waitq : sig
+  type t
+
+  val create : unit -> t
+  val waiters : t -> int
+
+  val wait : t -> unit
+  (** Enqueue the caller and park. FIFO: signals wake waiters in arrival
+      order. *)
+
+  val signal : sched -> t -> bool
+  (** Wake the oldest live waiter; [false] if none was waiting. *)
+
+  val broadcast : sched -> t -> int
+  (** Wake every current waiter; returns how many were woken. *)
+end

@@ -1,0 +1,219 @@
+module Sthread = Dps_sthread.Sthread
+module Machine = Dps_machine.Machine
+module Topology = Dps_machine.Topology
+module Net = Dps_net.Net
+module Wire = Dps_net.Wire
+module Prng = Dps_simcore.Prng
+module Histogram = Dps_simcore.Histogram
+
+type mode = Closed of { think : int } | Open of { rate_mops : float }
+
+type spec = {
+  nclients : int;
+  nconns : int;
+  set_pct : int;
+  mget : int;
+  val_lines : int;
+  key_range : int;
+  zipfian : bool;
+  mode : mode;
+  seed : int64;
+}
+
+let spec ?(nclients = 1000) ?(nconns = 64) ?(set_pct = 10) ?(mget = 1) ?(val_lines = 2)
+    ?(key_range = 16384) ?(zipfian = true) ?(mode = Closed { think = 4000 }) ?(seed = 42L) () =
+  { nclients; nconns; set_pct; mget; val_lines; key_range; zipfian; mode; seed }
+
+type result = {
+  issued : int;
+  completed : int;
+  errors : int;
+  hits : int;
+  refused_conns : int;
+  duration_cycles : int;
+  throughput_mops : float;
+  mean_latency : float;
+  p50 : int;
+  p99 : int;
+  p999 : int;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%8d completed (%d issued): %8.3f Mops/s  p50 %d p99 %d p99.9 %d  (%d errors, %d refused)"
+    r.completed r.issued r.throughput_mops r.p50 r.p99 r.p999 r.errors r.refused_conns
+
+(* Per-connection fleet state: the users multiplexed onto one connection
+   share its PRNG stream, encoder and in-order completion FIFO. *)
+type cstate = {
+  mutable conn : Net.conn option;
+  prng : Prng.t;
+  dec : Wire.decoder;
+  enc : Buffer.t;
+  inflight : (int * [ `Get | `Set ]) Queue.t;
+  mutable dead : bool;
+}
+
+type fleet = {
+  sched : Sthread.t;
+  net : Net.t;
+  sp : spec;
+  dist : Keydist.t;
+  set_data : string;
+  horizon : int;
+  hist : Histogram.t;
+  mutable issued : int;
+  mutable completed : int;
+  mutable errors : int;
+  mutable hits : int;
+  mutable refused : int;
+}
+
+let issue f cs =
+  match cs.conn with
+  | None -> ()
+  | Some conn ->
+      if (not cs.dead) && Sthread.now f.sched < f.horizon then begin
+        let p = cs.prng in
+        Buffer.clear cs.enc;
+        let kind =
+          if Prng.int p 100 < f.sp.set_pct then begin
+            let key = string_of_int (Keydist.sample f.dist p) in
+            Wire.encode_request cs.enc
+              (Wire.Set { key; flags = 0; exptime = 0; data = f.set_data; noreply = false });
+            `Set
+          end
+          else begin
+            let keys =
+              List.init f.sp.mget (fun _ -> string_of_int (Keydist.sample f.dist p))
+            in
+            Wire.encode_request cs.enc (Wire.Get keys);
+            `Get
+          end
+        in
+        Queue.push (Sthread.now f.sched, kind) cs.inflight;
+        f.issued <- f.issued + 1;
+        Net.send f.net conn (Buffer.contents cs.enc)
+      end
+
+(* A user finished a request/response cycle on [cs]; in closed-loop mode it
+   thinks, then issues its next request. *)
+let user_turnaround f cs =
+  match f.sp.mode with
+  | Open _ -> ()
+  | Closed { think } ->
+      let when_ = Sthread.now f.sched + think in
+      if when_ < f.horizon then Sthread.at f.sched ~time:when_ (fun () -> issue f cs)
+
+let on_rx f cs data =
+  Wire.feed cs.dec data;
+  let parsing = ref true in
+  while !parsing do
+    match Wire.next_response cs.dec with
+    | Wire.Need_more -> parsing := false
+    | Wire.Bad _ -> f.errors <- f.errors + 1
+    | Wire.Item resp -> (
+        match Queue.take_opt cs.inflight with
+        | None -> f.errors <- f.errors + 1 (* response with no matching request *)
+        | Some (t0, _kind) ->
+            f.completed <- f.completed + 1;
+            Histogram.add f.hist (Sthread.now f.sched - t0);
+            (match resp with
+            | Wire.Values vs -> f.hits <- f.hits + List.length vs
+            | Wire.Error | Wire.Client_error _ | Wire.Server_error _ ->
+                f.errors <- f.errors + 1
+            | Wire.Stored | Wire.Not_stored | Wire.Deleted | Wire.Not_found -> ());
+            user_turnaround f cs)
+  done
+
+(* Open-loop Poisson arrivals on one connection, mean inter-arrival
+   [mean_gap] cycles, until the horizon. *)
+let rec arrival_process f cs ~mean_gap =
+  let u = 1.0 -. Prng.float cs.prng 1.0 in
+  let gap = int_of_float (-.mean_gap *. log u) in
+  let when_ = Sthread.now f.sched + max 1 gap in
+  if when_ < f.horizon then
+    Sthread.at f.sched ~time:when_ (fun () ->
+        issue f cs;
+        arrival_process f cs ~mean_gap)
+
+let run sched net sp ~duration ?(stop = fun () -> ()) () =
+  let start = Sthread.now sched in
+  let horizon = start + duration in
+  let topo = Machine.topology (Sthread.machine sched) in
+  let master = Prng.create sp.seed in
+  let f =
+    {
+      sched;
+      net;
+      sp;
+      dist =
+        (if sp.zipfian then Keydist.zipf ~range:sp.key_range ()
+         else Keydist.uniform ~range:sp.key_range);
+      set_data = String.make (sp.val_lines * 64) 'x';
+      horizon;
+      hist = Histogram.create ();
+      issued = 0;
+      completed = 0;
+      errors = 0;
+      hits = 0;
+      refused = 0;
+    }
+  in
+  let conns =
+    Array.init sp.nconns (fun i ->
+        let cs =
+          {
+            conn = None;
+            prng = Prng.split master;
+            dec = Wire.decoder ();
+            enc = Buffer.create 256;
+            inflight = Queue.create ();
+            dead = false;
+          }
+        in
+        let conn =
+          Net.connect net ~nic:(i mod Net.nic_count net)
+            ~rx:(fun data -> on_rx f cs data)
+            ~on_refused:(fun () ->
+              cs.dead <- true;
+              f.refused <- f.refused + 1)
+            ()
+        in
+        cs.conn <- Some conn;
+        cs)
+  in
+  (* kick the fleet off: users staggered over one think/gap window *)
+  (match sp.mode with
+  | Closed { think } ->
+      for u = 0 to sp.nclients - 1 do
+        let cs = conns.(u mod sp.nconns) in
+        let offset = if think > 0 then Prng.int cs.prng think else Prng.int cs.prng 64 in
+        Sthread.at sched ~time:(start + 1 + offset) (fun () -> issue f cs)
+      done
+  | Open { rate_mops } ->
+      let cycles_per_sec = topo.Topology.ghz *. 1e9 in
+      let ops_per_cycle = rate_mops *. 1e6 /. cycles_per_sec in
+      let mean_gap = float_of_int sp.nconns /. ops_per_cycle in
+      Array.iter (fun cs -> arrival_process f cs ~mean_gap) conns);
+  (* after the issue window plus a drain grace, shut the server down *)
+  let grace = (10 * (Net.config net).Net.link_latency) + 10_000 in
+  Sthread.at sched ~time:(horizon + grace) (fun () -> stop ());
+  Sthread.run sched;
+  let seconds =
+    Machine.cycles_to_seconds (Sthread.machine sched) duration
+  in
+  {
+    issued = f.issued;
+    completed = f.completed;
+    errors = f.errors;
+    hits = f.hits;
+    refused_conns = f.refused;
+    duration_cycles = Sthread.now sched - start;
+    throughput_mops =
+      (if f.completed = 0 then 0.0 else float_of_int f.completed /. seconds /. 1e6);
+    mean_latency = Histogram.mean f.hist;
+    p50 = Histogram.percentile f.hist 0.50;
+    p99 = Histogram.percentile f.hist 0.99;
+    p999 = Histogram.percentile f.hist 0.999;
+  }

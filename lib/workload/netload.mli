@@ -1,0 +1,82 @@
+(** Simulated client fleets for the network front-end.
+
+    Multiplexes [nclients] end-users over [nconns] connections — users per
+    connection is unbounded, so thousands to millions of simulated clients
+    cost only memory, not simulated cores: the whole fleet runs as bare
+    scheduler events ({!Dps_sthread.Sthread.at} timers and connection rx
+    callbacks), off-machine, exactly like the paper's stubbed network
+    clients but speaking the real wire protocol.
+
+    Two load models:
+    - {e closed-loop}: each user issues one request, waits for its
+      response, thinks for [think] cycles, repeats — throughput saturates
+      at the server's capacity, latency stays civil;
+    - {e open-loop}: requests arrive by a Poisson process at [rate_mops]
+      regardless of completions — offered load can exceed capacity, and
+      the tail latencies show it.
+
+    Requests follow the memcached study's shape: Zipfian (or uniform) keys
+    in [0, key_range), [set_pct]% sets of [val_lines]-line values, gets
+    batched [mget] keys at a time. Responses are matched to requests in
+    connection FIFO order (the ASCII protocol is in-order), each completion
+    is a latency sample, and everything is seeded — the same spec replays
+    bit-for-bit. *)
+
+module Sthread := Dps_sthread.Sthread
+module Net := Dps_net.Net
+
+type mode =
+  | Closed of { think : int }
+  | Open of { rate_mops : float }  (** offered load, Mops per simulated second *)
+
+type spec = {
+  nclients : int;
+  nconns : int;
+  set_pct : int;  (** 0..100 *)
+  mget : int;  (** keys per get request (1 = plain get) *)
+  val_lines : int;  (** value size for sets, in cache lines *)
+  key_range : int;
+  zipfian : bool;
+  mode : mode;
+  seed : int64;
+}
+
+val spec :
+  ?nclients:int ->
+  ?nconns:int ->
+  ?set_pct:int ->
+  ?mget:int ->
+  ?val_lines:int ->
+  ?key_range:int ->
+  ?zipfian:bool ->
+  ?mode:mode ->
+  ?seed:int64 ->
+  unit ->
+  spec
+(** Defaults: 1000 clients, 64 connections, 10% sets, plain gets, 2-line
+    values, 16384 keys, Zipfian, closed-loop with 4000-cycle think time,
+    seed 42. *)
+
+type result = {
+  issued : int;
+  completed : int;
+  errors : int;  (** ERROR / CLIENT_ERROR / SERVER_ERROR responses *)
+  hits : int;  (** values returned across all gets *)
+  refused_conns : int;
+  duration_cycles : int;
+  throughput_mops : float;  (** completed requests per simulated second *)
+  mean_latency : float;  (** cycles, request issue to response parse *)
+  p50 : int;
+  p99 : int;
+  p999 : int;
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+val run :
+  Sthread.t -> Net.t -> spec -> duration:int -> ?stop:(unit -> unit) -> unit -> result
+(** Drive the fleet for [duration] cycles of issue window, then stop
+    issuing, let in-flight requests complete, and invoke [stop] (typically
+    [Server.stop]) once the issue window plus a drain grace has elapsed.
+    Runs the scheduler to quiescence and reports fleet-side measurements.
+    Connections are spread round-robin over the NICs. *)

@@ -15,4 +15,5 @@ let () =
       ("adapters", Test_adapters.suite);
       ("parsec", Test_parsec.suite);
       ("btree", Test_btree.suite);
+      ("net", Test_net.suite);
     ]

@@ -154,7 +154,7 @@ let test_dps_eviction () =
   let sched = Sthread.create m in
   let nclients = 20 in
   let capacity = 64 in
-  let v = Variants.dps_mc sched ~nclients ~locality_size:10 ~buckets:64 ~capacity in
+  let v = Variants.dps_mc sched ~nclients ~locality_size:10 ~buckets:64 ~capacity () in
   v.Variants.populate ~keys:(Array.init 256 Fun.id) ~val_lines:1;
   let hits = ref 0 and gets = ref 0 in
   for c = 0 to nclients - 1 do
@@ -192,7 +192,7 @@ let suite =
     variant_case "ffwd" (fun sched n ->
         Variants.ffwd_mc sched ~nclients:n ~buckets:256 ~capacity:1000);
     variant_case "dps" (fun sched n ->
-        Variants.dps_mc sched ~nclients:n ~locality_size:10 ~buckets:256 ~capacity:1000);
+        Variants.dps_mc sched ~nclients:n ~locality_size:10 ~buckets:256 ~capacity:1000 ());
     variant_case "dps-parsec" (fun sched n ->
-        Variants.dps_parsec sched ~nclients:n ~locality_size:10 ~buckets:256 ~capacity:1000);
+        Variants.dps_parsec sched ~nclients:n ~locality_size:10 ~buckets:256 ~capacity:1000 ());
   ]

@@ -1,0 +1,420 @@
+(* Tests for the simulated network front-end: wire codec (round-trip under
+   arbitrary packetization, malformed-input rejection), NIC/link/DMA model
+   (timing, backpressure, locality tallies), the server event loop, and
+   fleet determinism. *)
+
+module Machine = Dps_machine.Machine
+module Topology = Dps_machine.Topology
+module Sthread = Dps_sthread.Sthread
+module Prng = Dps_simcore.Prng
+module Byteq = Dps_net.Byteq
+module Wire = Dps_net.Wire
+module Net = Dps_net.Net
+module Server = Dps_server.Server
+module Netload = Dps_workload.Netload
+module Variants = Dps_memcached.Variants
+
+let mk () = Sthread.create (Machine.create (Machine.config_scaled ()))
+
+(* --- codec ------------------------------------------------------------- *)
+
+let gen_key p = Printf.sprintf "k%d" (Prng.int p 100000)
+
+let gen_data p =
+  (* arbitrary bytes, CRLF included: data blocks are length-framed *)
+  String.init (Prng.int p 200) (fun _ -> Char.chr (Prng.int p 256))
+
+let gen_request p =
+  match Prng.int p 3 with
+  | 0 -> Wire.Get (List.init (1 + Prng.int p 4) (fun _ -> gen_key p))
+  | 1 ->
+      Wire.Set
+        {
+          key = gen_key p;
+          flags = Prng.int p 1024;
+          exptime = Prng.int p 10000;
+          data = gen_data p;
+          noreply = Prng.bool p;
+        }
+  | _ -> Wire.Delete { key = gen_key p; noreply = Prng.bool p }
+
+let gen_response p =
+  match Prng.int p 6 with
+  | 0 ->
+      Wire.Values
+        (List.init (Prng.int p 4) (fun _ ->
+             { Wire.vkey = gen_key p; vflags = Prng.int p 1024; vdata = gen_data p }))
+  | 1 -> Wire.Stored
+  | 2 -> Wire.Deleted
+  | 3 -> Wire.Not_found
+  | 4 -> Wire.Error
+  | _ -> Wire.Client_error "object too large for cache"
+
+(* Encode [items], split the byte stream at arbitrary boundaries, feed the
+   chunks one by one, and require the decoded sequence to match exactly —
+   with [Need_more] (never [Bad]) at every intermediate point. *)
+let roundtrip (type a) ~(encode : Buffer.t -> a -> unit)
+    ~(next : Wire.decoder -> a Wire.parse) p items =
+  let b = Buffer.create 1024 in
+  List.iter (fun it -> encode b it) items;
+  let stream = Buffer.contents b in
+  let d = Wire.decoder () in
+  let decoded = ref [] in
+  let rec drain () =
+    match next d with
+    | Wire.Need_more -> ()
+    | Wire.Bad msg -> Alcotest.failf "Bad on valid stream: %s" msg
+    | Wire.Item it ->
+        decoded := it :: !decoded;
+        drain ()
+  in
+  let pos = ref 0 in
+  while !pos < String.length stream do
+    let n = min (1 + Prng.int p 40) (String.length stream - !pos) in
+    Wire.feed d (String.sub stream !pos n);
+    pos := !pos + n;
+    drain ()
+  done;
+  Alcotest.(check int) "no partial frame left" 0 (Wire.buffered d);
+  List.rev !decoded
+
+let test_request_roundtrip () =
+  let p = Prng.create 101L in
+  for _ = 1 to 50 do
+    let items = List.init (1 + Prng.int p 10) (fun _ -> gen_request p) in
+    let got = roundtrip ~encode:Wire.encode_request ~next:Wire.next_request p items in
+    Alcotest.(check bool) "requests round-trip" true (got = items)
+  done
+
+let test_response_roundtrip () =
+  let p = Prng.create 202L in
+  for _ = 1 to 50 do
+    let items = List.init (1 + Prng.int p 10) (fun _ -> gen_response p) in
+    let got = roundtrip ~encode:Wire.encode_response ~next:Wire.next_response p items in
+    Alcotest.(check bool) "responses round-trip" true (got = items)
+  done
+
+let test_truncation_safe () =
+  (* Every prefix of a valid stream parses to a prefix of its frames; a cut
+     mid-frame is Need_more, never Bad. *)
+  let p = Prng.create 303L in
+  let items = List.init 6 (fun _ -> gen_request p) in
+  let b = Buffer.create 512 in
+  List.iter (fun it -> Wire.encode_request b it) items;
+  let stream = Buffer.contents b in
+  for cut = 0 to String.length stream do
+    let d = Wire.decoder () in
+    Wire.feed d (String.sub stream 0 cut);
+    let rec drain acc =
+      match Wire.next_request d with
+      | Wire.Need_more -> List.rev acc
+      | Wire.Bad msg -> Alcotest.failf "Bad at prefix %d: %s" cut msg
+      | Wire.Item it -> drain (it :: acc)
+    in
+    let got = drain [] in
+    let rec is_prefix xs ys =
+      match (xs, ys) with
+      | [], _ -> true
+      | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+      | _ :: _, [] -> false
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "prefix %d decodes a frame prefix" cut)
+      true (is_prefix got items)
+  done
+
+let expect_bad what d next =
+  match next d with
+  | Wire.Bad _ -> ()
+  | Wire.Item _ -> Alcotest.failf "%s: parsed instead of rejected" what
+  | Wire.Need_more -> Alcotest.failf "%s: Need_more instead of Bad" what
+
+let test_malformed_rejected () =
+  let cases =
+    [
+      ("unknown verb", "bogus 1 2 3\r\n");
+      ("get without keys", "get\r\n");
+      ("set with junk length", "set k 0 0 abc\r\n");
+      ("set over-long length", "set k 0 0 9999999\r\n");
+      ("set bad terminator", "set k 0 0 4\r\nabcdXY");
+      ("delete arity", "delete\r\n");
+    ]
+  in
+  List.iter
+    (fun (what, input) ->
+      let d = Wire.decoder () in
+      Wire.feed d input;
+      expect_bad what d Wire.next_request)
+    cases;
+  (* an over-long line with no CRLF in sight is dropped wholesale *)
+  let d = Wire.decoder ~max_line:64 () in
+  Wire.feed d (String.make 200 'a');
+  expect_bad "line too long" d Wire.next_request;
+  Alcotest.(check int) "garbage dropped" 0 (Wire.buffered d);
+  (* responses reject too *)
+  let d = Wire.decoder () in
+  Wire.feed d "WHAT 1 2\r\n";
+  expect_bad "unknown response" d Wire.next_response;
+  (* a malformed frame poisons only itself: the next frame still parses *)
+  let d = Wire.decoder () in
+  Wire.feed d "bogus\r\nget alive\r\n";
+  expect_bad "first frame" d Wire.next_request;
+  (match Wire.next_request d with
+  | Wire.Item (Wire.Get [ "alive" ]) -> ()
+  | _ -> Alcotest.fail "frame after Bad did not parse")
+
+let test_byteq () =
+  let q = Byteq.create () in
+  Byteq.push q "hello ";
+  Byteq.push q "world";
+  Alcotest.(check int) "length" 11 (Byteq.length q);
+  Alcotest.(check char) "get" 'w' (Byteq.get q 6);
+  Alcotest.(check string) "sub" "lo wo" (Byteq.sub q ~pos:3 ~len:5);
+  Byteq.drop q 6;
+  Alcotest.(check string) "take after drop" "wor" (Byteq.take q ~max:3);
+  Alcotest.(check string) "take rest" "ld" (Byteq.take q ~max:100);
+  Alcotest.(check int) "empty" 0 (Byteq.length q);
+  (* interleaved push/drop exercises compaction *)
+  for i = 0 to 999 do
+    Byteq.push q (string_of_int i);
+    Byteq.drop q (min 2 (Byteq.length q))
+  done;
+  ignore (Byteq.take q ~max:max_int);
+  Alcotest.(check int) "drained" 0 (Byteq.length q)
+
+(* --- NIC / link / DMA model -------------------------------------------- *)
+
+let test_link_timing () =
+  let s = mk () in
+  let net = Net.create s () in
+  let cfg = Net.config net in
+  let readable_at = ref (-1) in
+  let c = Net.connect net ~nic:0 ~rx:(fun _ -> ()) () in
+  Net.set_on_readable c (fun () -> if !readable_at < 0 then readable_at := Sthread.now s);
+  Net.send net c (String.make 64 'x');
+  Sthread.run s;
+  (* SYN serializes (1 line), then the data line behind it, plus one
+     propagation delay each; both must have crossed before delivery *)
+  let min_arrival = cfg.Net.link_latency + (2 * cfg.Net.cycles_per_line) in
+  Alcotest.(check bool)
+    (Printf.sprintf "delivery after link crossing (%d >= %d)" !readable_at min_arrival)
+    true
+    (!readable_at >= min_arrival);
+  Alcotest.(check bool) "but within the same microsecond order" true
+    (!readable_at < 2 * cfg.Net.link_latency);
+  let st = Net.stats net in
+  Alcotest.(check int) "one packet" 1 st.Net.pkts_rx;
+  Alcotest.(check int) "64 bytes" 64 st.Net.bytes_rx;
+  Alcotest.(check bool) "DMA lines charged" true (st.Net.dma_lines >= 1)
+
+let test_backpressure () =
+  let s = mk () in
+  (* a small window and a slow consumer: the link outruns the drain *)
+  let net = Net.create s ~config:{ Net.default_config with Net.rx_window = 2048 } () in
+  let total = 16384 in
+  let c = Net.connect net ~nic:0 ~rx:(fun _ -> ()) () in
+  let got = ref 0 in
+  Sthread.spawn s ~hw:2 (fun () ->
+      (* accept-less raw drain: poll the connection until all bytes arrive *)
+      while !got < total do
+        let data = Net.recv net c ~max:1024 in
+        if data = "" then ignore (Sthread.park_for 1000) else got := !got + String.length data
+      done);
+  Net.send net c (String.make total 'x');
+  Sthread.run s;
+  Alcotest.(check int) "all bytes eventually delivered" total !got;
+  Alcotest.(check bool) "window held packets at the NIC" true
+    ((Net.stats net).Net.backpressured > 0)
+
+let test_locality_tally () =
+  let s = mk () in
+  let topo = Machine.topology (Sthread.machine s) in
+  let net = Net.create s () in
+  let c0 = Net.connect net ~nic:0 ~rx:(fun _ -> ()) () in
+  let c1 = Net.connect net ~nic:1 ~rx:(fun _ -> ()) () in
+  Net.send net c0 (String.make 256 'a');
+  Net.send net c1 (String.make 256 'b');
+  (* one server thread on socket 0: local for c0's NIC, remote for c1's *)
+  Sthread.spawn s ~hw:2 (fun () ->
+      let drain c =
+        let got = ref 0 in
+        while !got < 256 do
+          let data = Net.recv net c ~max:4096 in
+          if data = "" then ignore (Sthread.park_for 500) else got := !got + String.length data
+        done
+      in
+      drain c0;
+      drain c1;
+      Net.reply net c0 (String.make 128 'r'));
+  Sthread.run s;
+  let st = Net.stats net in
+  Alcotest.(check bool) "sockets >= 2 in this topology" true (topo.Topology.sockets >= 2);
+  (* c0: 4 rx lines + 2 tx lines local; c1: 4 rx lines remote *)
+  Alcotest.(check int) "local lines" 6 st.Net.local_lines;
+  Alcotest.(check int) "remote lines" 4 st.Net.remote_lines;
+  Alcotest.(check bool) "fraction in between" true
+    (Net.local_fraction net > 0.5 && Net.local_fraction net < 1.0)
+
+let test_refusal () =
+  let s = mk () in
+  let net = Net.create s () in
+  let refused = ref 0 in
+  let _c = Net.connect net ~nic:0 ~rx:(fun _ -> ()) ~on_refused:(fun () -> incr refused) () in
+  let accepted = ref [] in
+  Sthread.spawn s ~hw:0 (fun () ->
+      let rec loop () =
+        match Net.accept net with
+        | Some c -> accepted := c :: !accepted; loop ()
+        | None -> ()
+      in
+      loop ());
+  (* close the listener before the SYN lands: the connection is refused and
+     the blocked acceptor unblocks with None *)
+  Sthread.at s ~time:100 (fun () -> Net.unlisten net);
+  let _late = Net.connect net ~nic:0 ~rx:(fun _ -> ()) ~on_refused:(fun () -> incr refused) () in
+  Sthread.run s;
+  Alcotest.(check int) "none accepted" 0 (List.length !accepted);
+  Alcotest.(check int) "both refused" 2 !refused;
+  Alcotest.(check int) "stat counted" 2 (Net.stats net).Net.refused
+
+(* --- server event loop -------------------------------------------------- *)
+
+let test_server_end_to_end () =
+  let s = mk () in
+  let net = Net.create s () in
+  let backend = Variants.stock s ~nclients:4 ~buckets:128 ~capacity:256 in
+  backend.Variants.populate ~keys:[| 7; 8 |] ~val_lines:1;
+  let srv = Server.start s net ~backend { Server.default_config with npollers = 4 } in
+  let dec = Wire.decoder () in
+  let responses = ref [] in
+  let c =
+    Net.connect net ~nic:0
+      ~rx:(fun data ->
+        Wire.feed dec data;
+        let rec drain () =
+          match Wire.next_response dec with
+          | Wire.Need_more -> ()
+          | Wire.Bad msg -> Alcotest.failf "client got unparsable response: %s" msg
+          | Wire.Item r ->
+              responses := r :: !responses;
+              drain ()
+        in
+        drain ())
+      ()
+  in
+  let req r =
+    let b = Buffer.create 64 in
+    Wire.encode_request b r;
+    Net.send net c (Buffer.contents b)
+  in
+  req (Wire.Get [ "7"; "8"; "9" ]);
+  req (Wire.Set { key = "9"; flags = 0; exptime = 0; data = String.make 64 'v'; noreply = false });
+  req (Wire.Get [ "9" ]);
+  req (Wire.Delete { key = "7"; noreply = false });
+  req (Wire.Delete { key = "7"; noreply = false });
+  Net.send net c "gibberish\r\n";
+  req (Wire.Get [ "8" ]);
+  Sthread.at s ~time:200_000 (fun () -> Server.stop srv);
+  Sthread.run s;
+  let rs = List.rev !responses in
+  let shape =
+    List.map
+      (function
+        | Wire.Values vs -> Printf.sprintf "values:%d" (List.length vs)
+        | Wire.Stored -> "stored"
+        | Wire.Deleted -> "deleted"
+        | Wire.Not_found -> "not_found"
+        | Wire.Client_error _ -> "client_error"
+        | _ -> "other")
+      rs
+  in
+  Alcotest.(check (list string)) "response sequence"
+    [ "values:2"; "stored"; "values:1"; "deleted"; "not_found"; "client_error"; "values:1" ]
+    shape;
+  let st = Server.stats srv in
+  Alcotest.(check int) "requests" 6 st.Server.requests;
+  Alcotest.(check int) "bad requests" 1 st.Server.bad_requests;
+  Alcotest.(check int) "connections" 1 st.Server.conns;
+  Alcotest.(check int) "hits" 4 st.Server.hits;
+  Alcotest.(check bool) "pollers parked while idle" true (st.Server.parks > 0)
+
+let test_server_connection_limit () =
+  let s = mk () in
+  let net = Net.create s () in
+  let backend = Variants.stock s ~nclients:2 ~buckets:64 ~capacity:128 in
+  let srv = Server.start s net ~backend { Server.default_config with npollers = 2; max_conns = 2 } in
+  let refused = ref 0 in
+  for _ = 1 to 4 do
+    ignore (Net.connect net ~nic:0 ~rx:(fun _ -> ()) ~on_refused:(fun () -> incr refused) ())
+  done;
+  Sthread.at s ~time:100_000 (fun () -> Server.stop srv);
+  Sthread.run s;
+  Alcotest.(check int) "beyond the limit refused" 2 !refused;
+  Alcotest.(check int) "under the limit kept" 2 (Server.stats srv).Server.conns
+
+(* --- fleet: DPS backend, determinism ------------------------------------ *)
+
+let fleet_once ~seed ~self_healing =
+  let s = mk () in
+  let net = Net.create s () in
+  let backend =
+    Variants.dps_parsec s ~self_healing ~nclients:40 ~locality_size:10 ~buckets:1024
+      ~capacity:2048 ()
+  in
+  backend.Variants.populate ~keys:(Array.init 1024 Fun.id) ~val_lines:2;
+  let srv = Server.start s net ~backend { Server.default_config with npollers = 40 } in
+  let sp =
+    Netload.spec ~nclients:200 ~nconns:16 ~set_pct:20 ~mget:2 ~key_range:1024 ~seed ()
+  in
+  let r = Netload.run s net sp ~duration:60_000 ~stop:(fun () -> Server.stop srv) () in
+  (r, (Server.stats srv).Server.requests, Sthread.now s, Net.local_fraction net)
+
+let test_fleet_dps_deterministic () =
+  let (r1, reqs1, end1, loc1) = fleet_once ~seed:7L ~self_healing:false in
+  let (r2, reqs2, end2, loc2) = fleet_once ~seed:7L ~self_healing:false in
+  Alcotest.(check bool) "fleet made progress" true (r1.Netload.completed > 100);
+  Alcotest.(check int) "no client-visible errors" 0 r1.Netload.errors;
+  Alcotest.(check bool) "placement keeps traffic local" true (loc1 >= 0.9);
+  Alcotest.(check bool) "identical results" true (r1 = r2);
+  Alcotest.(check int) "identical server requests" reqs1 reqs2;
+  Alcotest.(check int) "identical end of time" end1 end2;
+  Alcotest.(check bool) "identical locality" true (loc1 = loc2)
+
+let test_fleet_self_healing_path () =
+  (* PR 1's self-healing delegation stays live under the event-loop server *)
+  let r, reqs, _, _ = fleet_once ~seed:9L ~self_healing:true in
+  Alcotest.(check bool) "progress with self-healing on" true (r.Netload.completed > 100);
+  Alcotest.(check int) "no errors" 0 r.Netload.errors;
+  Alcotest.(check bool) "server agrees" true (reqs >= r.Netload.completed)
+
+let test_fleet_open_loop () =
+  let s = mk () in
+  let net = Net.create s () in
+  let backend = Variants.stock s ~nclients:8 ~buckets:512 ~capacity:1024 in
+  backend.Variants.populate ~keys:(Array.init 512 Fun.id) ~val_lines:1;
+  let srv = Server.start s net ~backend { Server.default_config with npollers = 8 } in
+  let sp =
+    Netload.spec ~nclients:100 ~nconns:8 ~set_pct:10 ~key_range:512
+      ~mode:(Netload.Open { rate_mops = 5.0 }) ~seed:3L ()
+  in
+  let r = Netload.run s net sp ~duration:60_000 ~stop:(fun () -> Server.stop srv) () in
+  Alcotest.(check bool) "poisson arrivals served" true (r.Netload.completed > 20);
+  Alcotest.(check int) "no errors" 0 r.Netload.errors
+
+let suite =
+  [
+    ("request round-trip under packetization", `Quick, test_request_roundtrip);
+    ("response round-trip under packetization", `Quick, test_response_roundtrip);
+    ("truncation never misparses", `Quick, test_truncation_safe);
+    ("malformed input rejected", `Quick, test_malformed_rejected);
+    ("byte queue", `Quick, test_byteq);
+    ("link timing", `Quick, test_link_timing);
+    ("backpressure", `Quick, test_backpressure);
+    ("locality tally", `Quick, test_locality_tally);
+    ("refusal and unlisten", `Quick, test_refusal);
+    ("server end to end", `Quick, test_server_end_to_end);
+    ("server connection limit", `Quick, test_server_connection_limit);
+    ("DPS fleet deterministic", `Quick, test_fleet_dps_deterministic);
+    ("self-healing fleet", `Quick, test_fleet_self_healing_path);
+    ("open-loop fleet", `Quick, test_fleet_open_loop);
+  ]

@@ -288,8 +288,138 @@ let test_fault_hook_stall_and_crash () =
   Alcotest.(check int) "crashed at first access" 0 !t1_accesses;
   Alcotest.(check int) "none live" 0 (Sthread.live_threads s)
 
+(* --- blocking, wakeups, timers ----------------------------------------- *)
+
+let test_park_unpark () =
+  let s = mk () in
+  let resumed_at = ref (-1) in
+  Sthread.spawn s ~hw:0 (fun () ->
+      Sthread.park ();
+      resumed_at := Sthread.time ());
+  Sthread.at s ~time:500 (fun () -> ignore (Sthread.unpark s ~tid:0));
+  Sthread.run s;
+  Alcotest.(check int) "resumed at the unpark" 500 !resumed_at;
+  Alcotest.(check bool) "unpark of dead thread" false (Sthread.unpark s ~tid:0)
+
+let test_no_lost_wakeup () =
+  (* the unpark lands while the target is still running: the permit is
+     remembered and the next park returns without blocking *)
+  let s = mk () in
+  let resumed_at = ref (-1) in
+  Sthread.spawn s ~hw:0 (fun () ->
+      Sthread.work 100;
+      Sthread.park ();
+      resumed_at := Sthread.time ());
+  Sthread.at s ~time:10 (fun () -> ignore (Sthread.unpark s ~tid:0));
+  Sthread.run s;
+  Alcotest.(check int) "permit consumed, no block" 100 !resumed_at
+
+let test_waitq_fifo () =
+  let s = mk () in
+  let q = Sthread.Waitq.create () in
+  let order = ref [] in
+  for i = 0 to 2 do
+    Sthread.spawn s ~hw:(i * 2) (fun () ->
+        (* distinct arrival times force the queue order 0, 1, 2 *)
+        Sthread.work (10 * (i + 1));
+        Sthread.Waitq.wait q;
+        order := i :: !order)
+  done;
+  List.iter
+    (fun tm -> Sthread.at s ~time:tm (fun () -> ignore (Sthread.Waitq.signal s q)))
+    [ 1_000; 2_000; 3_000 ];
+  Sthread.run s;
+  Alcotest.(check (list int)) "FIFO wakeup order" [ 0; 1; 2 ] (List.rev !order)
+
+let test_waitq_broadcast_and_dead_waiters () =
+  let s = mk () in
+  let q = Sthread.Waitq.create () in
+  let woken = ref [] in
+  for i = 0 to 2 do
+    Sthread.spawn s ~hw:(i * 2) (fun () ->
+        Sthread.work (10 * (i + 1));
+        Sthread.Waitq.wait q;
+        woken := i :: !woken)
+  done;
+  Sthread.run s;
+  Alcotest.(check int) "three queued" 3 (Sthread.Waitq.waiters q);
+  (* kill the oldest waiter: a signal must skip it and wake the next *)
+  ignore (Sthread.kill s ~tid:0);
+  Sthread.run s;
+  Alcotest.(check bool) "signal skips the dead waiter" true (Sthread.Waitq.signal s q);
+  Sthread.run s;
+  Alcotest.(check (list int)) "thread 1 woken" [ 1 ] !woken;
+  Alcotest.(check int) "broadcast wakes the rest" 1 (Sthread.Waitq.broadcast s q);
+  Sthread.run s;
+  Alcotest.(check (list int)) "all live waiters woken" [ 2; 1 ] !woken
+
+let test_kill_parked_runs_finalizers () =
+  let s = mk () in
+  let finalized = ref false in
+  Sthread.spawn s ~hw:0 (fun () ->
+      Fun.protect ~finally:(fun () -> finalized := true) (fun () -> Sthread.park ()));
+  Sthread.run s;
+  ignore (Sthread.kill s ~tid:0);
+  Sthread.run s;
+  Alcotest.(check bool) "finalizer ran" true !finalized;
+  Alcotest.(check int) "none live" 0 (Sthread.live_threads s)
+
+let test_park_releases_hardware_thread () =
+  (* a parked thread's hyperthread sibling runs undilated *)
+  let s = mk () in
+  let sibling_done = ref (-1) in
+  Sthread.spawn s ~hw:0 (fun () -> Sthread.park ());
+  Sthread.spawn s ~hw:1 (fun () ->
+      Sthread.work 1000;
+      sibling_done := Sthread.time ());
+  Sthread.run s;
+  Alcotest.(check int) "sibling undilated" 1000 !sibling_done;
+  ignore (Sthread.unpark s ~tid:0);
+  Sthread.run s;
+  Alcotest.(check int) "parked thread drains" 0 (Sthread.live_threads s)
+
+let test_park_for () =
+  let s = mk () in
+  let first = ref (false, -1) in
+  Sthread.spawn s ~hw:0 (fun () ->
+      (* no unpark in sight: the timeout fires *)
+      let timed = Sthread.park_for 300 in
+      first := (timed, Sthread.time ());
+      (* an unpark beats the next timeout; the stale timeout of the first
+         park must not wake this one early *)
+      let timed2 = Sthread.park_for 10_000 in
+      Alcotest.(check bool) "woken by unpark" false timed2;
+      Alcotest.(check int) "at the unpark's time" 400 (Sthread.time ());
+      (* and a third sleep times out again, undisturbed by leftovers *)
+      let timed3 = Sthread.park_for 100 in
+      Alcotest.(check bool) "timeout again" true timed3);
+  Sthread.at s ~time:400 (fun () -> ignore (Sthread.unpark s ~tid:0));
+  Sthread.run s;
+  Alcotest.(check (pair bool int)) "first sleep timed out at 300" (true, 300) !first
+
+let test_at_events () =
+  let s = mk () in
+  let log = ref [] in
+  Sthread.at s ~time:200 (fun () -> log := 2 :: !log);
+  Sthread.at s ~time:100 (fun () ->
+      log := 1 :: !log;
+      (* events may schedule further events *)
+      Sthread.at s ~time:150 (fun () -> log := 3 :: !log));
+  Sthread.run s;
+  Alcotest.(check (list int)) "time order" [ 1; 3; 2 ] (List.rev !log);
+  Alcotest.check_raises "past time rejected" (Invalid_argument "Sthread.at: time in the past")
+    (fun () -> Sthread.at s ~time:(Sthread.now s - 1) (fun () -> ()))
+
 let suite =
   [
+    ("park and unpark", `Quick, test_park_unpark);
+    ("no lost wakeup", `Quick, test_no_lost_wakeup);
+    ("waitq FIFO order", `Quick, test_waitq_fifo);
+    ("waitq broadcast and dead waiters", `Quick, test_waitq_broadcast_and_dead_waiters);
+    ("kill parked thread", `Quick, test_kill_parked_runs_finalizers);
+    ("park releases hardware thread", `Quick, test_park_releases_hardware_thread);
+    ("park_for timeout", `Quick, test_park_for);
+    ("at events", `Quick, test_at_events);
     ("single thread runs", `Quick, test_single_thread_runs);
     ("kill drops thread", `Quick, test_kill_drops_thread);
     ("exit terminates", `Quick, test_exit_terminates);
