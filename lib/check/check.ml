@@ -1,0 +1,165 @@
+(** The exploration driver: run a scenario under many perturbed schedules,
+    check it (linearizability, races, invariants), and on failure shrink
+    the schedule and print a replay recipe.
+
+    Replay ergonomics: every failure prints the base seed, the schedule
+    index, and the minimized preemption trace. Setting [DPS_CHECK_TRACE]
+    (and optionally [DPS_CHECK_SEED=<base>/<index>]) in the environment
+    makes {!explore} run exactly that one schedule, deterministically.
+    [DPS_CHECK_BUDGET] overrides every exploration budget (the CI
+    check-smoke job sets it). *)
+
+module Machine = Dps_machine.Machine
+module Sthread = Dps_sthread.Sthread
+module Alloc = Dps_sthread.Alloc
+module Prng = Dps_simcore.Prng
+
+type failure = {
+  name : string;
+  seed : int64;  (** base seed of the exploration *)
+  index : int;  (** which schedule failed *)
+  strategy : string;
+  full_trace : Schedule.trace;
+  trace : Schedule.trace;  (** minimized *)
+  message : string;
+}
+
+let pp_failure f =
+  Printf.sprintf
+    "[dps-check] FAILURE in %s (schedule %d, %s, %d->%d forced preemptions)\n\
+     [dps-check]   %s\n\
+     [dps-check]   replay: DPS_CHECK_SEED=%Ld/%d DPS_CHECK_TRACE=%s dune runtest" f.name f.index
+    f.strategy (List.length f.full_trace) (List.length f.trace) f.message f.seed f.index
+    (Schedule.trace_to_string f.trace)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some v -> v | None -> default)
+  | None -> default
+
+let env_seed () =
+  match Sys.getenv_opt "DPS_CHECK_SEED" with
+  | None -> None
+  | Some s -> (
+      match String.split_on_char '/' (String.trim s) with
+      | [ base; idx ] -> (
+          match (Int64.of_string_opt base, int_of_string_opt idx) with
+          | Some b, Some i -> Some (b, i)
+          | _ -> None)
+      | _ -> None)
+
+let default_strategies =
+  [
+    Schedule.Random_preempt { prob = 0.02; max_delay = 4_000 };
+    Schedule.Pct { changes = 8; max_delay = 8_000 };
+    Schedule.Random_preempt { prob = 0.10; max_delay = 600 };
+  ]
+
+(* Derive the (strategy, seed) of schedule [i] of an exploration: schedule
+   0 is the unperturbed baseline; the rest cycle through the strategy list
+   with seeds drawn from one base stream. *)
+let derive ~seed ~strategies i =
+  let prng = Prng.create seed in
+  let s = ref 0L in
+  for _ = 0 to i do
+    s := Prng.next64 prng
+  done;
+  let strategy =
+    if i = 0 then Schedule.Baseline
+    else List.nth strategies ((i - 1) mod List.length strategies)
+  in
+  (strategy, !s)
+
+let explore ~name ?(budget = 50) ?(seed = 0x5eedL) ?(strategies = default_strategies)
+    ?(shrink_tries = 80) run =
+  let budget = env_int "DPS_CHECK_BUDGET" budget in
+  let run_one ctl = try run ctl with e -> Some ("exception: " ^ Printexc.to_string e) in
+  let fail ~index ~strategy ~msg ~full =
+    let still_fails tr = run_one (Schedule.make ~seed:0L (Schedule.Replay tr)) <> None in
+    let minimized = Schedule.shrink ~max_tries:shrink_tries ~still_fails full in
+    (* only keep the shrunk trace if it still reproduces on its own *)
+    let minimized = if still_fails minimized then minimized else full in
+    let message =
+      match run_one (Schedule.make ~seed:0L (Schedule.Replay minimized)) with
+      | Some m -> m
+      | None -> msg
+    in
+    let f =
+      {
+        name;
+        seed;
+        index;
+        strategy = Schedule.strategy_name strategy;
+        full_trace = full;
+        trace = minimized;
+        message;
+      }
+    in
+    prerr_endline (pp_failure f);
+    Error f
+  in
+  match Sys.getenv_opt "DPS_CHECK_TRACE" with
+  | Some tr_s -> (
+      (* replay exactly one schedule *)
+      let tr = Schedule.trace_of_string tr_s in
+      let ctl = Schedule.make ~seed:0L (Schedule.Replay tr) in
+      match run_one ctl with
+      | None -> Ok ()
+      | Some msg ->
+          let f =
+            {
+              name;
+              seed;
+              index = -1;
+              strategy = "replay";
+              full_trace = tr;
+              trace = tr;
+              message = msg;
+            }
+          in
+          prerr_endline (pp_failure f);
+          Error f)
+  | None -> (
+      match env_seed () with
+      | Some (base, index) -> (
+          let strategy, s = derive ~seed:base ~strategies index in
+          let ctl = Schedule.make ~seed:s strategy in
+          match run_one ctl with
+          | None -> Ok ()
+          | Some msg -> fail ~index ~strategy ~msg ~full:(Schedule.trace ctl))
+      | None ->
+          let rec go i =
+            if i >= budget then Ok ()
+            else begin
+              let strategy, s = derive ~seed ~strategies i in
+              let ctl = Schedule.make ~seed:s strategy in
+              match run_one ctl with
+              | None -> go (i + 1)
+              | Some msg -> fail ~index:i ~strategy ~msg ~full:(Schedule.trace ctl)
+            end
+          in
+          go 0)
+
+(** {1 Scenario harness} *)
+
+type sim = { sched : Sthread.t; machine : Machine.t; alloc : Alloc.t; race : Race.t }
+
+(* Build a fresh machine + scheduler wired to the schedule [ctl] and a race
+   detector; run the scenario body (spawn threads, [Sthread.run], verify);
+   then layer on the generic checks: threads that never finished
+   (deadlock) and unannotated races. *)
+let with_sim ?(machine_seed = 42L) ?(config = Machine.config_default) ?(max_reports = 8) ctl f =
+  let machine = Machine.create ~seed:machine_seed config in
+  let sched = Sthread.create machine in
+  Schedule.attach ctl sched;
+  let race = Race.create ~max_reports () in
+  Race.install race sched;
+  let alloc = Alloc.create machine ~cold:Alloc.Spread in
+  match f { sched; machine; alloc; race } with
+  | Some msg -> Some msg
+  | None ->
+      if Sthread.live_threads sched > 0 then
+        Some
+          (Printf.sprintf "deadlock: %d thread(s) still blocked at quiescence"
+             (Sthread.live_threads sched))
+      else Race.summary race

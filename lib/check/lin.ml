@@ -1,0 +1,291 @@
+(** History recording and a Wing–Gong (WGL) linearizability checker.
+
+    A {!recorder} timestamps operation invocations and responses with a
+    global monotone stamp (the scheduler is single-threaded, so recording
+    order is real-time order: operation A precedes B iff A's response
+    stamp is smaller than B's invocation stamp). The checker searches for
+    a linearization — a total order of the operations that respects
+    real-time precedence and a sequential specification — using the
+    classic WGL recursion with memoization on (linearized-set, state).
+
+    Set/map histories are partitioned per key before checking (operations
+    on distinct keys commute in the sequential spec), which turns an
+    exponential whole-history search into many trivial per-key ones. *)
+
+module Sthread = Dps_sthread.Sthread
+
+let absent = min_int
+(** Result encoding for "not found / empty" (values in tests are small). *)
+
+type 'op event = {
+  id : int;
+  tid : int;
+  key : int;
+  op : 'op;
+  res : int;
+  inv : int;  (** invocation stamp *)
+  ret : int;  (** response stamp *)
+}
+
+type 'op recorder = { mutable stamp : int; mutable evs : 'op event list; mutable next_id : int }
+
+let recorder () = { stamp = 0; evs = []; next_id = 0 }
+
+let record r ?(key = 0) op f =
+  let inv = r.stamp in
+  r.stamp <- r.stamp + 1;
+  let res = f () in
+  let ret = r.stamp in
+  r.stamp <- r.stamp + 1;
+  let tid = if Sthread.in_sim () then Sthread.self_id () else -1 in
+  r.evs <- { id = r.next_id; tid; key; op; res; inv; ret } :: r.evs;
+  r.next_id <- r.next_id + 1;
+  res
+
+let events r = List.rev r.evs
+let size r = r.next_id
+
+(** A sequential specification. [step state op res] is [Some state'] iff
+    the operation with the observed result is legal from [state]. [state]
+    must be a structural (hashable, comparable) value. *)
+module type SPEC = sig
+  type state
+  type op
+
+  val name : string
+  val init : state
+  val step : state -> op -> int -> state option
+  val show : op -> int -> string
+end
+
+type 'state verdict =
+  | Linearizable of 'state  (** witness final state *)
+  | Nonlinearizable of string
+  | Exhausted
+
+let show_history (type o) (module S : SPEC with type op = o) (evs : o event list) =
+  String.concat "; "
+    (List.map
+       (fun e -> Printf.sprintf "t%d:[%d,%d] %s" e.tid e.inv e.ret (S.show e.op e.res))
+       evs)
+
+let check (type s o) (module S : SPEC with type state = s and type op = o) ?(budget = 500_000)
+    (evs : o event list) : s verdict =
+  let arr = Array.of_list (List.sort (fun a b -> compare a.inv b.inv) evs) in
+  let n = Array.length arr in
+  if n = 0 then Linearizable S.init
+  else begin
+    let linearized = Bytes.make n '\000' in
+    let memo : (string * s, unit) Hashtbl.t = Hashtbl.create 1024 in
+    let nodes = ref 0 in
+    let exception Out_of_budget in
+    let rec solve ndone state =
+      if ndone = n then Some state
+      else begin
+        incr nodes;
+        if !nodes > budget then raise Out_of_budget;
+        let key = (Bytes.to_string linearized, state) in
+        if Hashtbl.mem memo key then None
+        else begin
+          (* earliest response among unlinearized ops bounds the candidates:
+             an op can linearize first iff no unlinearized op precedes it *)
+          let min_ret = ref max_int in
+          for i = 0 to n - 1 do
+            if Bytes.get linearized i = '\000' && arr.(i).ret < !min_ret then min_ret := arr.(i).ret
+          done;
+          let rec try_cand i =
+            if i >= n then begin
+              Hashtbl.replace memo key ();
+              None
+            end
+            else if Bytes.get linearized i = '\000' && arr.(i).inv < !min_ret then begin
+              match S.step state arr.(i).op arr.(i).res with
+              | Some state' -> (
+                  Bytes.set linearized i '\001';
+                  match solve (ndone + 1) state' with
+                  | Some w -> Some w
+                  | None ->
+                      Bytes.set linearized i '\000';
+                      try_cand (i + 1))
+              | None -> try_cand (i + 1)
+            end
+            else try_cand (i + 1)
+          in
+          try_cand 0
+        end
+      end
+    in
+    match solve 0 S.init with
+    | Some w -> Linearizable w
+    | None ->
+        Nonlinearizable
+          (Printf.sprintf "%s history not linearizable: %s" S.name
+             (show_history (module S) (Array.to_list arr)))
+    | exception Out_of_budget -> Exhausted
+  end
+
+(* Partition a history by key and check each key against the spec. *)
+let check_partitioned (type s o) (module S : SPEC with type state = s and type op = o)
+    ?budget (evs : o event list) :
+    [ `Ok of (int, s) Hashtbl.t | `Violation of string | `Exhausted of int ] =
+  let by_key : (int, o event list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let cur = try Hashtbl.find by_key e.key with Not_found -> [] in
+      Hashtbl.replace by_key e.key (e :: cur))
+    evs;
+  let witness = Hashtbl.create 64 in
+  let result = ref `Done in
+  Hashtbl.iter
+    (fun key kevs ->
+      match !result with
+      | `Done -> (
+          match check (module S) ?budget kevs with
+          | Linearizable w -> Hashtbl.replace witness key w
+          | Nonlinearizable msg -> result := `Bad (Printf.sprintf "key %d: %s" key msg)
+          | Exhausted -> result := `Out key)
+      | _ -> ())
+    by_key;
+  match !result with
+  | `Done -> `Ok witness
+  | `Bad msg -> `Violation msg
+  | `Out key -> `Exhausted key
+
+(** {1 Sequential reference specifications} *)
+
+type set_op = Insert of int | Remove | Lookup
+
+module Set_spec = struct
+  type state = int option  (* value if the key is present *)
+  type op = set_op
+
+  let name = "set"
+  let init = None
+
+  let step st op res =
+    match (op, st) with
+    | Insert v, None -> if res = 1 then Some (Some v) else None
+    | Insert _, Some _ -> if res = 0 then Some st else None
+    | Remove, Some _ -> if res = 1 then Some None else None
+    | Remove, None -> if res = 0 then Some None else None
+    | Lookup, Some v -> if res = v then Some st else None
+    | Lookup, None -> if res = absent then Some st else None
+
+  let show op res =
+    match op with
+    | Insert v -> Printf.sprintf "insert(%d)=%b" v (res = 1)
+    | Remove -> Printf.sprintf "remove=%b" (res = 1)
+    | Lookup -> if res = absent then "lookup=None" else Printf.sprintf "lookup=%d" res
+end
+
+type seq_op = Push of int | Pop
+
+module Queue_spec = struct
+  type state = int list  (* front at head *)
+  type op = seq_op
+
+  let name = "fifo queue"
+  let init = []
+
+  let step st op res =
+    match (op, st) with
+    | Push v, _ -> if res = 0 then Some (st @ [ v ]) else None
+    | Pop, [] -> if res = absent then Some [] else None
+    | Pop, x :: rest -> if res = x then Some rest else None
+
+  let show op res =
+    match op with
+    | Push v -> Printf.sprintf "enq(%d)" v
+    | Pop -> if res = absent then "deq=None" else Printf.sprintf "deq=%d" res
+end
+
+module Stack_spec = struct
+  type state = int list  (* top at head *)
+  type op = seq_op
+
+  let name = "lifo stack"
+  let init = []
+
+  let step st op res =
+    match (op, st) with
+    | Push v, _ -> if res = 0 then Some (v :: st) else None
+    | Pop, [] -> if res = absent then Some [] else None
+    | Pop, x :: rest -> if res = x then Some rest else None
+
+  let show op res =
+    match op with
+    | Push v -> Printf.sprintf "push(%d)" v
+    | Pop -> if res = absent then "pop=None" else Printf.sprintf "pop=%d" res
+end
+
+(* Unordered collection with exact element accounting: [Pop] may return any
+   present element (no order constraint), [absent] only when empty. The
+   spec for relaxed structures — what must still hold is no loss, no
+   duplication, no invention. *)
+module Bag_spec = struct
+  type state = int list  (* sorted multiset *)
+  type op = seq_op
+
+  let name = "bag"
+  let init = []
+
+  let step st op res =
+    match op with
+    | Push v -> if res = 0 then Some (List.sort compare (v :: st)) else None
+    | Pop ->
+        if res = absent then if st = [] then Some [] else None
+        else if List.mem res st then
+          (* remove one occurrence *)
+          let rec rm = function
+            | [] -> []
+            | x :: rest -> if x = res then rest else x :: rm rest
+          in
+          Some (rm st)
+        else None
+
+  let show op res =
+    match op with
+    | Push v -> Printf.sprintf "add(%d)" v
+    | Pop -> if res = absent then "take=None" else Printf.sprintf "take=%d" res
+end
+
+(* As [Bag_spec], but [Pop] may also miss: returning [absent] is always
+   legal. For the DPS broadcast adapters, whose peek-then-act pairs are
+   documented non-linearizable: a pop racing a push may see every
+   partition empty. Loss and duplication are still violations. *)
+module Bag_relaxed_spec = struct
+  include Bag_spec
+
+  let name = "relaxed bag"
+
+  let step st op res =
+    match op with Pop when res = absent -> Some st | _ -> Bag_spec.step st op res
+end
+
+type pq_op = Pq_insert of int | Pq_remove_min | Pq_find_min
+
+module Pq_spec = struct
+  type state = int list  (* sorted keys *)
+  type op = pq_op
+
+  let name = "priority queue"
+  let init = []
+
+  let step st op res =
+    match (op, st) with
+    | Pq_insert k, _ ->
+        if res = 1 && not (List.mem k st) then Some (List.sort compare (k :: st))
+        else if res = 0 && List.mem k st then Some st
+        else None
+    | Pq_remove_min, [] -> if res = absent then Some [] else None
+    | Pq_remove_min, x :: rest -> if res = x then Some rest else None
+    | Pq_find_min, [] -> if res = absent then Some [] else None
+    | Pq_find_min, x :: _ -> if res = x then Some st else None
+
+  let show op res =
+    match op with
+    | Pq_insert k -> Printf.sprintf "insert(%d)=%b" k (res = 1)
+    | Pq_remove_min ->
+        if res = absent then "remove_min=None" else Printf.sprintf "remove_min=%d" res
+    | Pq_find_min -> if res = absent then "find_min=None" else Printf.sprintf "find_min=%d" res
+end

@@ -1,0 +1,214 @@
+(** FastTrack-style happens-before race detection over {!Sthread} traces.
+
+    The detector consumes the scheduler's trace events and maintains one
+    vector clock per simulated thread plus, per cache line, the clock of
+    the last releasing store and the last plain read/write epoch of every
+    thread. The policy (see DESIGN.md, "lib/check"):
+
+    - every [rmw] and [write_release] is a synchronizing access: it
+      acquires the line's release clock and publishes the thread's clock
+      back onto it (lines that are only mutated this way never race — in
+      this machine model a charged access is one coherent whole-line
+      transaction, so atomically-maintained lines are exempt by
+      construction);
+    - a plain [read] acquires the line's release clock (the reads-from
+      edge of atomic publication), then races with any plain write it is
+      not ordered after;
+    - a plain [write] races with any plain read or plain write it is not
+      ordered after;
+    - a [read_racy] acquires but neither checks nor records — the
+      annotation for reads that are racy by design and re-validated
+      before use;
+    - spawn, park/unpark (and the [Waitq] built on them) and the explicit
+      [sync_acquire]/[sync_release] tokens contribute the remaining
+      edges. *)
+
+module Sthread = Dps_sthread.Sthread
+
+(* Dense, growable vector clocks: thread ids are dense per scheduler. *)
+module Vc = struct
+  type t = { mutable a : int array }
+
+  let create () = { a = Array.make 8 0 }
+  let get t i = if i < Array.length t.a then t.a.(i) else 0
+
+  let ensure t i =
+    if i >= Array.length t.a then begin
+      let n = Array.make (max (i + 1) (2 * Array.length t.a)) 0 in
+      Array.blit t.a 0 n 0 (Array.length t.a);
+      t.a <- n
+    end
+
+  let set t i v =
+    ensure t i;
+    t.a.(i) <- v
+
+  let merge dst src =
+    Array.iteri (fun i v -> if v > get dst i then set dst i v) src.a
+
+  let copy t = { a = Array.copy t.a }
+
+  (* first thread [u <> tid] whose epoch in [epochs] is not covered by
+     [clock], i.e. an access we are not ordered after *)
+  let uncovered ~epochs ~clock ~tid =
+    let n = Array.length epochs.a in
+    let rec go u =
+      if u >= n then None
+      else if u <> tid && epochs.a.(u) > get clock u then Some u
+      else go (u + 1)
+    in
+    go 0
+end
+
+type report = { addr : int; cls : string; tid : int; prior_cls : string; prior_tid : int }
+
+let pp_report r =
+  Printf.sprintf "race on line %d: %s by thread %d vs %s by thread %d" r.addr r.cls r.tid
+    r.prior_cls r.prior_tid
+
+type line = { mutable rel : Vc.t option; rd : Vc.t; wr : Vc.t }
+
+type t = {
+  clocks : (int, Vc.t) Hashtbl.t;
+  lines : (int, line) Hashtbl.t;
+  tokens : (int, Vc.t) Hashtbl.t;
+  permits : (int, Vc.t) Hashtbl.t;
+  mutable reports : report list;  (* newest first, capped *)
+  mutable n_reports : int;
+  mutable n_racy : int;
+  max_reports : int;
+}
+
+let create ?(max_reports = 32) () =
+  {
+    clocks = Hashtbl.create 64;
+    lines = Hashtbl.create 1024;
+    tokens = Hashtbl.create 16;
+    permits = Hashtbl.create 16;
+    reports = [];
+    n_reports = 0;
+    n_racy = 0;
+    max_reports;
+  }
+
+let clock t tid =
+  match Hashtbl.find_opt t.clocks tid with
+  | Some c -> c
+  | None ->
+      let c = Vc.create () in
+      Vc.set c tid 1;
+      Hashtbl.replace t.clocks tid c;
+      c
+
+let line t addr =
+  match Hashtbl.find_opt t.lines addr with
+  | Some l -> l
+  | None ->
+      let l = { rel = None; rd = Vc.create (); wr = Vc.create () } in
+      Hashtbl.replace t.lines addr l;
+      l
+
+let tick c tid = Vc.set c tid (Vc.get c tid + 1)
+
+let report t r =
+  t.n_reports <- t.n_reports + 1;
+  if List.length t.reports < t.max_reports then t.reports <- r :: t.reports
+
+let acquire_rel c l = match l.rel with Some r -> Vc.merge c r | None -> ()
+
+let release_rel c l =
+  match l.rel with
+  | Some r -> Vc.merge r c
+  | None -> l.rel <- Some (Vc.copy c)
+
+let on_event t ev =
+  match ev with
+  | Sthread.T_access { tid; cls; addr } -> (
+      let c = clock t tid in
+      let l = line t addr in
+      match cls with
+      | Sthread.Load ->
+          acquire_rel c l;
+          (match Vc.uncovered ~epochs:l.wr ~clock:c ~tid with
+          | Some u -> report t { addr; cls = "read"; tid; prior_cls = "write"; prior_tid = u }
+          | None -> ());
+          Vc.set l.rd tid (Vc.get c tid);
+          tick c tid
+      | Sthread.Racy_load ->
+          acquire_rel c l;
+          t.n_racy <- t.n_racy + 1;
+          tick c tid
+      | Sthread.Store ->
+          (match Vc.uncovered ~epochs:l.wr ~clock:c ~tid with
+          | Some u -> report t { addr; cls = "write"; tid; prior_cls = "write"; prior_tid = u }
+          | None -> (
+              match Vc.uncovered ~epochs:l.rd ~clock:c ~tid with
+              | Some u -> report t { addr; cls = "write"; tid; prior_cls = "read"; prior_tid = u }
+              | None -> ()));
+          Vc.set l.wr tid (Vc.get c tid);
+          tick c tid
+      | Sthread.Release_store ->
+          acquire_rel c l;
+          (match Vc.uncovered ~epochs:l.wr ~clock:c ~tid with
+          | Some u ->
+              report t { addr; cls = "release-write"; tid; prior_cls = "write"; prior_tid = u }
+          | None -> ());
+          release_rel c l;
+          tick c tid
+      | Sthread.Atomic ->
+          acquire_rel c l;
+          release_rel c l;
+          tick c tid)
+  | Sthread.T_sync { tid; acquire; token } -> (
+      let c = clock t tid in
+      if acquire then (
+        (match Hashtbl.find_opt t.tokens token with Some r -> Vc.merge c r | None -> ());
+        tick c tid)
+      else
+        match Hashtbl.find_opt t.tokens token with
+        | Some r ->
+            Vc.merge r c;
+            tick c tid
+        | None ->
+            Hashtbl.replace t.tokens token (Vc.copy c);
+            tick c tid)
+  | Sthread.T_spawn { parent; child } -> (
+      match parent with
+      | None -> ignore (clock t child)
+      | Some p ->
+          let pc = clock t p in
+          let cc = Vc.copy pc in
+          Vc.set cc child (Vc.get cc child + 1);
+          Hashtbl.replace t.clocks child cc;
+          tick pc p)
+  | Sthread.T_unpark { src; dst } -> (
+      match src with
+      | None -> ()
+      | Some s ->
+          let sc = clock t s in
+          (match Hashtbl.find_opt t.permits dst with
+          | Some p -> Vc.merge p sc
+          | None -> Hashtbl.replace t.permits dst (Vc.copy sc));
+          tick sc s)
+  | Sthread.T_wake { tid } -> (
+      match Hashtbl.find_opt t.permits tid with
+      | Some p ->
+          let c = clock t tid in
+          Vc.merge c p;
+          Hashtbl.remove t.permits tid;
+          tick c tid
+      | None -> ())
+  | Sthread.T_retire _ -> ()
+
+let install t sched = Sthread.set_tracer sched (Some (on_event t))
+let races t = List.rev t.reports
+let race_count t = t.n_reports
+let racy_reads t = t.n_racy
+
+let summary t =
+  if t.n_reports = 0 then None
+  else
+    Some
+      (Printf.sprintf "%d race(s): %s%s" t.n_reports
+         (String.concat "; " (List.map pp_report (List.rev t.reports)))
+         (if t.n_reports > List.length t.reports then " (truncated)" else ""))

@@ -1,0 +1,149 @@
+(** Schedule exploration: seeded perturbation of the deterministic
+    discrete-event schedule.
+
+    Every charged operation is a scheduling point; the scheduler hook can
+    force extra delay onto any of them, which reorders the thread
+    interleaving while keeping the run fully deterministic. A [ctl] is one
+    member of the schedule space: a strategy plus a seed. Whatever the
+    strategy decides is also recorded as a trace of (point, delay) pairs —
+    point being the global index of the scheduling point — so any run can
+    be replayed bit-for-bit by [Replay]ing its trace, and a failing trace
+    can be shrunk to a minimal set of forced preemptions. *)
+
+module Prng = Dps_simcore.Prng
+module Sthread = Dps_sthread.Sthread
+
+type decision = { point : int; delay : int }
+type trace = decision list
+
+type strategy =
+  | Baseline  (** the unperturbed seed schedule *)
+  | Random_preempt of { prob : float; max_delay : int }
+      (** independent coin per scheduling point: with probability [prob]
+          stall the thread for 1..[max_delay] extra cycles *)
+  | Pct of { changes : int; max_delay : int }
+      (** PCT-style priority schedule, adapted to discrete-event form:
+          every thread gets a random start offset (its priority), plus
+          [changes] priority-change points where the currently running
+          thread is forcibly preempted *)
+  | Replay of trace  (** play back recorded decisions, ignore the seed *)
+
+let strategy_name = function
+  | Baseline -> "baseline"
+  | Random_preempt { prob; _ } -> Printf.sprintf "random-preempt(p=%.3f)" prob
+  | Pct { changes; _ } -> Printf.sprintf "pct(changes=%d)" changes
+  | Replay _ -> "replay"
+
+type ctl = {
+  strategy : strategy;
+  prng : Prng.t;
+  mutable point : int;
+  mutable recorded : decision list;  (* reverse order *)
+  staggered : (int, unit) Hashtbl.t;  (* pct: threads already given a start offset *)
+  mutable next_change : int;
+  mutable changes_left : int;
+  mutable replay : trace;  (* remaining, ascending by point *)
+}
+
+let make ~seed strategy =
+  let prng = Prng.create seed in
+  let next_change, changes_left =
+    match strategy with Pct { changes; _ } -> (Prng.int prng 1_000, changes) | _ -> (max_int, 0)
+  in
+  {
+    strategy;
+    prng;
+    point = 0;
+    recorded = [];
+    staggered = Hashtbl.create 32;
+    next_change;
+    changes_left;
+    replay =
+      (match strategy with
+      | Replay tr -> List.sort (fun (a : decision) (b : decision) -> compare a.point b.point) tr
+      | _ -> []);
+  }
+
+let hook ctl ~tid ~now:_ ~tag:_ ~cycles:_ =
+  let d =
+    match ctl.strategy with
+    | Baseline -> 0
+    | Random_preempt { prob; max_delay } ->
+        if Prng.below ctl.prng prob then 1 + Prng.int ctl.prng max_delay else 0
+    | Pct { max_delay; _ } ->
+        let stagger =
+          if Hashtbl.mem ctl.staggered tid then 0
+          else begin
+            Hashtbl.replace ctl.staggered tid ();
+            Prng.int ctl.prng max_delay
+          end
+        in
+        let change =
+          if ctl.changes_left > 0 && ctl.point >= ctl.next_change then begin
+            ctl.changes_left <- ctl.changes_left - 1;
+            ctl.next_change <- ctl.point + 1 + Prng.int ctl.prng 2_000;
+            1 + Prng.int ctl.prng max_delay
+          end
+          else 0
+        in
+        stagger + change
+    | Replay _ -> (
+        match ctl.replay with
+        | { point; delay } :: rest when point = ctl.point ->
+            ctl.replay <- rest;
+            delay
+        | _ -> 0)
+  in
+  if d > 0 then ctl.recorded <- { point = ctl.point; delay = d } :: ctl.recorded;
+  ctl.point <- ctl.point + 1;
+  d
+
+let attach ctl sched = Sthread.set_sched_hook sched (Some (hook ctl))
+let trace ctl = List.rev ctl.recorded
+let points ctl = ctl.point
+
+let trace_to_string tr =
+  String.concat ","
+    (List.map (fun (d : decision) -> Printf.sprintf "%d:%d" d.point d.delay) tr)
+
+let trace_of_string s =
+  if String.trim s = "" then []
+  else
+    String.split_on_char ',' s
+    |> List.map (fun part ->
+           match String.split_on_char ':' (String.trim part) with
+           | [ p; d ] -> { point = int_of_string p; delay = int_of_string d }
+           | _ -> invalid_arg ("Schedule.trace_of_string: bad decision " ^ part))
+
+(* Minimize a failing trace: keep removing forced preemptions while the
+   scenario still fails. Chunked passes first (drop half/quarter/...), then
+   single-decision removal, bounded by [max_tries] replays. *)
+let shrink ~max_tries ~still_fails tr =
+  let tries = ref 0 in
+  let fails tr =
+    if !tries >= max_tries then false
+    else begin
+      incr tries;
+      still_fails tr
+    end
+  in
+  let drop_slice tr lo len =
+    List.filteri (fun i _ -> i < lo || i >= lo + len) tr
+  in
+  let rec chunk_pass tr size =
+    if size < 1 then tr
+    else begin
+      let rec go tr lo =
+        if lo >= List.length tr then tr
+        else begin
+          let cand = drop_slice tr lo size in
+          if List.length cand < List.length tr && fails cand then go cand lo
+          else go tr (lo + size)
+        end
+      in
+      let tr' = go tr 0 in
+      chunk_pass tr' (if size > List.length tr' then List.length tr' / 2 else size / 2)
+    end
+  in
+  let n = List.length tr in
+  if n <= 1 then tr else chunk_pass tr (n / 2)

@@ -7,6 +7,11 @@ module Spinlock = Dps_sync.Spinlock
 
 type partition_info = { pid : int; node : int; alloc : Alloc.t }
 
+(* Test-only mutation (lib/check self-test): when set, the server's
+   completion publish is a plain store instead of a releasing one, so the
+   reply hand-off loses its happens-before edge. *)
+let failpoint_skip_completion_fence = ref false
+
 (* One single-cache-line message, as in §4.2: toggle bit, operation,
    return value. The toggle is set by the sender and cleared by the
    partition when the reply (in [ret]) is ready. [claim] is the serving
@@ -344,7 +349,8 @@ let serve_slots t ~pid ring ~budget =
         slot.ret <- v;
         slot.claim <- -1;
         slot.toggle <- false;
-        Simops.write slot.maddr;
+        if !failpoint_skip_completion_fence then Simops.write slot.maddr
+        else Simops.write_release slot.maddr;
         ring.recv_idx <- ring.recv_idx + 1;
         ring.last_served <- Sthread.time ();
         t.last_served.(pid) <- ring.last_served;
@@ -354,7 +360,7 @@ let serve_slots t ~pid ring ~budget =
         (* sender re-issued elsewhere; consume the tombstone in order *)
         slot.cancelled <- false;
         slot.toggle <- false;
-        Simops.write slot.maddr;
+        Simops.write_release slot.maddr;
         ring.recv_idx <- ring.recv_idx + 1;
         t.pending.(pid) <- t.pending.(pid) - 1
     | None when slot.toggle && slot.claim >= 0 && Hashtbl.mem t.dead_tids slot.claim ->
@@ -363,7 +369,7 @@ let serve_slots t ~pid ring ~budget =
         slot.claim <- -1;
         slot.aborted <- true;
         slot.toggle <- false;
-        Simops.write slot.maddr;
+        Simops.write_release slot.maddr;
         ring.recv_idx <- ring.recv_idx + 1;
         t.pending.(pid) <- t.pending.(pid) - 1
     | Some _ | None -> continue_ring := false
@@ -477,7 +483,7 @@ let send t cl pid op =
   Simops.work t.marshal_cost;
   slot.op <- Some (fun () -> op p.data);
   slot.toggle <- true;
-  Simops.write slot.maddr;
+  Simops.write_release slot.maddr;
   t.n_delegated <- t.n_delegated + 1;
   t.pending.(pid) <- t.pending.(pid) + 1;
   slot
@@ -681,7 +687,7 @@ let rebalance t ~bucket ~to_ ~extract ~insert =
            moved := extract data bucket;
            List.length !moved));
     t.ns_table.(bucket) <- to_;
-    Simops.write (t.ns_base + (bucket / 8));
+    Simops.write_release (t.ns_base + (bucket / 8));
     List.iter
       (fun (key, value) -> ignore (call_on t ~pid:to_ (fun data -> insert data ~key ~value; 0)))
       !moved

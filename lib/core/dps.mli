@@ -16,6 +16,11 @@
 
 type 'a t
 
+val failpoint_skip_completion_fence : bool ref
+(** Test-only mutation for the lib/check self-test: when set, the server's
+    completion publish is a plain store instead of a releasing one, so the
+    race detector must flag the reply hand-off. Default [false]. *)
+
 type partition_info = {
   pid : int;  (** partition index *)
   node : int;  (** NUMA node the partition is bound to *)

@@ -35,8 +35,10 @@ let mk_node alloc key value present =
 
 let create alloc = { alloc; root = mk_node alloc min_int 0 false }
 
+(* racy by design: optimistic store-free traversal; updates re-validate
+   via the per-node OPTIK version before committing *)
 let rec descend_from n key =
-  Simops.charge_read n.addr;
+  Simops.charge_read_racy n.addr;
   if key = n.key then begin
     Simops.flush ();
     `Found n
@@ -71,7 +73,9 @@ let rec insert t ~key ~value =
       if Optik.is_locked v then insert t ~key ~value
       else begin
         let n = mk_node t.alloc key value true in
-        Simops.write n.addr;
+        (* releasing init publish: [n] is lockable as a parent slot the
+           moment the link lands, before this writer unlocks [p] *)
+        Simops.write_release n.addr;
         if Optik.try_lock_at p.lock v then begin
           let slot_free = if key < p.key then p.left = None else p.right = None in
           if slot_free then begin

@@ -42,15 +42,17 @@ let create alloc =
 
 (* Route: key < node.key goes left. Returns (grandparent, parent, leaf). *)
 let search t key =
-  Simops.charge_read t.super.addr;
+  (* racy by design: store-free traversal; updaters re-validate the links
+     under the node ticket locks before mutating *)
+  Simops.charge_read_racy t.super.addr;
   let rec go gp p cur =
     match cur with
     | Leaf l ->
-        Simops.charge_read l.laddr;
+        Simops.charge_read_racy l.laddr;
         Simops.flush ();
         (gp, p, l)
     | Node n ->
-        Simops.charge_read n.addr;
+        Simops.charge_read_racy n.addr;
         go p n (if key < n.key then n.left else n.right)
   in
   go t.super t.super t.super.left
@@ -87,7 +89,9 @@ let rec insert t ~key ~value =
         if key < l.lkey then mk_internal t.alloc l.lkey (Leaf nl) (Leaf l)
         else mk_internal t.alloc key (Leaf l) (Leaf nl)
       in
-      Simops.write ni.addr;
+      (* releasing init publish: [ni] is lockable as a parent the moment
+         the link lands, before this writer releases [p.lock] *)
+      Simops.write_release ni.addr;
       replace_child p ~old_:l ~new_:(Node ni);
       Simops.write p.addr;
       Ticket.release p.lock;

@@ -58,7 +58,10 @@ let create alloc =
   let leaf = mk_node alloc ~leaf:true in
   { alloc; grow_lock = Spinlock.create alloc; root = leaf; height = 1 }
 
-let touch n = Simops.charge_read n.addr
+(* racy by design: Lehman-Yao readers descend without locks and recover
+   from concurrent splits via the high key and right link; writers
+   re-validate ([chase], range checks) after locking *)
+let touch n = Simops.charge_read_racy n.addr
 
 (* index of the first key >= key *)
 let lower_bound n key =
@@ -148,7 +151,9 @@ let split t n =
   r.right <- n.right;
   n.high <- sep;
   n.right <- Some r;
-  Simops.write r.addr;
+  (* releasing publish: [r] is reachable (and lockable) the moment the
+     right link lands, before this writer releases any lock *)
+  Simops.write_release r.addr;
   Simops.write n.addr;
   (sep, r)
 
@@ -184,7 +189,8 @@ let rec complete_split t ~lvl ~sep ~right ~from =
       new_root.keys.(0) <- sep;
       new_root.children.(0) <- Some from;
       new_root.children.(1) <- Some right;
-      Simops.write new_root.addr;
+      (* releasing publish: the new root is reachable immediately *)
+      Simops.write_release new_root.addr;
       t.root <- new_root;
       t.height <- t.height + 1;
       Spinlock.release t.grow_lock

@@ -81,12 +81,14 @@ let remove t key =
   result
 
 let lookup t key =
+  (* racy by design: the read path takes no lock (memcached-style); it may
+     observe a bucket mid-update, which chain walking tolerates *)
   let b = t.buckets.(bucket_of t key) in
-  Simops.charge_read b.baddr;
+  Simops.charge_read_racy b.baddr;
   let rec walk = function
     | None -> None
     | Some n ->
-        Simops.charge_read n.addr;
+        Simops.charge_read_racy n.addr;
         if n.key = key then Some n.value else walk n.next
   in
   let r = walk b.chain in

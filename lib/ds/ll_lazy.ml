@@ -31,10 +31,10 @@ let create alloc =
 (* Unsynchronized traversal: returns (pred, curr) with
    pred.key < key <= curr.key. Both may be stale; callers validate. *)
 let search t key =
-  Simops.charge_read t.head.addr;
+  Simops.charge_read_racy t.head.addr;
   let rec go pred =
     let curr = Option.get pred.next in
-    Simops.charge_read curr.addr;
+    Simops.charge_read_racy curr.addr;
     if curr.key >= key then (pred, curr) else go curr
   in
   go t.head
@@ -53,7 +53,9 @@ let rec insert t ~key ~value =
       if curr.key = key then false
       else begin
         let n = mk_node t.alloc key value (Some curr) in
-        Simops.write n.addr;
+        (* releasing init publish: [n] is lockable as a predecessor the
+           moment the link lands, before this writer releases its locks *)
+        Simops.write_release n.addr;
         pred.next <- Some n;
         Simops.write pred.addr;
         true

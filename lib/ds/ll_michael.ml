@@ -28,6 +28,10 @@ let create alloc =
   let tail = mk_node alloc max_int 0 None in
   { alloc; head = mk_node alloc min_int 0 (Some tail) }
 
+(* Test-only mutation (lib/check self-test): when set, a failed insert CAS
+   gives up instead of retrying, silently dropping the insert. *)
+let failpoint_drop_cas_retry = ref false
+
 (* CAS of [n]'s (next, marked) pair. [expect] is the node [n.next] is
    expected to point at (nodes are unique, options are compared unwrapped). *)
 let cas_next n ~expect ~expect_marked ~next ~marked =
@@ -72,6 +76,7 @@ let rec insert t ~key ~value =
     let n = mk_node t.alloc key value (Some curr) in
     Simops.write n.addr;
     if cas_next pred ~expect:curr ~expect_marked:false ~next:(Some n) ~marked:false then true
+    else if !failpoint_drop_cas_retry then false
     else insert t ~key ~value
   end
 

@@ -6,6 +6,11 @@
 
 type t
 
+val failpoint_drop_cas_retry : bool ref
+(** Test-only mutation for the lib/check self-test: when set, a failed
+    insert CAS gives up instead of retrying (a lost-update bug the
+    linearizability oracle must catch). Default [false]. *)
+
 val name : string
 val create : Dps_sthread.Alloc.t -> t
 val insert : t -> key:int -> value:int -> bool

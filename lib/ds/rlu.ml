@@ -41,12 +41,14 @@ let reader_lock t =
   Simops.read t.gaddr;
   s.local_clock <- t.gclock;
   s.active <- true;
-  Simops.write s.saddr
+  (* releasing publish: [synchronize]'s quiescence poll reads this slot *)
+  Simops.write_release s.saddr
 
 let reader_unlock t =
   let s = my_slot t in
   s.active <- false;
-  Simops.write s.saddr
+  (* releasing publish: the grace-period waiter takes its HB edge from here *)
+  Simops.write_release s.saddr
 
 (** Writer-side grace period: advance the clock and wait until no reader is
     still running under the old clock. The caller must have ended its own

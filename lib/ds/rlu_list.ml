@@ -29,10 +29,13 @@ let create alloc =
   { alloc; rlu = Rlu.create alloc; head = mk_node alloc min_int 0 (Some tail) }
 
 let search t key =
-  Simops.charge_read t.head.addr;
+  (* racy by design: RLU read sections run concurrently with writers (the
+     grace period, not ordering, protects readers); updaters re-validate
+     after try-locking *)
+  Simops.charge_read_racy t.head.addr;
   let rec go pred =
     let curr = Option.get pred.next in
-    Simops.charge_read curr.addr;
+    Simops.charge_read_racy curr.addr;
     if curr.key >= key then (pred, curr) else go curr
   in
   let r = go t.head in
@@ -66,7 +69,9 @@ let rec insert t ~key ~value =
   end
   else begin
     let n = mk_node t.alloc key value (Some curr) in
-    Simops.write n.addr;
+    (* releasing init publish: [n] is try-lockable as a predecessor the
+       moment the link lands, before this writer releases [pred.lock] *)
+    Simops.write_release n.addr;
     pred.next <- Some n;
     Simops.write pred.addr;
     Rlu.writer_end_and_synchronize t.rlu;

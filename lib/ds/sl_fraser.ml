@@ -162,6 +162,7 @@ let lookup t key =
    structure; see {!Pq_shavit}). *)
 
 let peek_min t =
+  Simops.charge_read t.head.addr;
   let rec go n =
     match n.next.(0) with
     | None -> None
@@ -180,6 +181,7 @@ let peek_min t =
   go t.head
 
 let rec remove_min t =
+  Simops.charge_read t.head.addr;
   let rec first_unmarked n =
     match n.next.(0) with
     | None -> None

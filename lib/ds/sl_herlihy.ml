@@ -56,14 +56,15 @@ let random_level t =
 (* Wait-free search; returns the level where the key was found (-1 if not)
    and fills preds/succs. *)
 let find t key preds succs =
-  Simops.charge_read t.head.addr;
+  (* racy by design: wait-free search; updaters re-validate under locks *)
+  Simops.charge_read_racy t.head.addr;
   let lfound = ref (-1) in
   let pred = ref t.head in
   for lvl = max_level - 1 downto 0 do
     let continue_level = ref true in
     while !continue_level do
       let curr = Option.get !pred.next.(lvl) in
-      Simops.charge_read curr.addr;
+      Simops.charge_read_racy curr.addr;
       if curr.key < key then pred := curr
       else begin
         if !lfound = -1 && curr.key = key then lfound := lvl;
@@ -102,9 +103,11 @@ let rec insert t ~key ~value =
   if lfound <> -1 then begin
     let found = succs.(lfound) in
     if not found.marked then begin
-      (* wait for the concurrent inserter to finish linking *)
+      (* wait for the concurrent inserter to finish linking; racy by
+         design — the inserter's releasing fully_linked publish is the
+         only thing being awaited *)
       while not found.fully_linked do
-        Simops.read found.addr
+        Simops.read_racy found.addr
       done;
       false
     end
@@ -128,13 +131,19 @@ let rec insert t ~key ~value =
       for lvl = 0 to level - 1 do
         n.next.(lvl) <- Some succs.(lvl)
       done;
-      Simops.write n.addr;
+      (* releasing init publish: once the bottom link lands, other threads
+         may lock [n] as a predecessor and write its line — their lock
+         acquisition (an atomic on [n.addr]) must be ordered after this *)
+      Simops.write_release n.addr;
       for lvl = 0 to level - 1 do
         preds.(lvl).next.(lvl) <- Some n;
         Simops.write preds.(lvl).addr
       done;
+      (* fully_linked is set without holding [n]'s lock, exactly as the
+         original's volatile fullyLinked field; model it as an atomic
+         update so it coexists with lock-holders' writes to the line *)
+      Simops.rmw n.addr;
       n.fully_linked <- true;
-      Simops.write n.addr;
       unlock_preds preds level;
       true
     end

@@ -27,12 +27,14 @@ let now () = if Sthread.in_sim () then Sthread.time () else 0
 let enter t =
   let s = my_slot t in
   s.entered_at <- now ();
-  Simops.write s.addr
+  (* releasing publish: [quiesce]'s poll reads this slot *)
+  Simops.write_release s.addr
 
 let exit t =
   let s = my_slot t in
   s.entered_at <- -1;
-  Simops.write s.addr
+  (* releasing publish: the quiescence waiter takes its HB edge from here *)
+  Simops.write_release s.addr
 
 let quiesce t =
   let start = now () in

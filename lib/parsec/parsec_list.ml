@@ -21,11 +21,14 @@ let create alloc =
 
 (* Traversal is safe under quiescence: a concurrently unlinked node still
    points into the list, and it cannot be reclaimed until we exit. *)
+(* racy by design: readers traverse inside a ParSec section concurrently
+   with the serialized writer; quiescence (not ordering) keeps unlinked
+   nodes alive until every reader exits *)
 let search t key =
-  Simops.charge_read t.head.addr;
+  Simops.charge_read_racy t.head.addr;
   let rec go pred =
     let curr = Option.get pred.next in
-    Simops.charge_read curr.addr;
+    Simops.charge_read_racy curr.addr;
     if curr.key >= key then (pred, curr) else go curr
   in
   let r = go t.head in

@@ -3,11 +3,27 @@
     Thin wrappers over {!Sthread} that become no-ops outside a simulated
     thread. Data-structure code uses these exclusively, so the same
     insert/lookup/remove paths serve both cold setup (population, test
-    verification) and charged simulation. *)
+    verification) and charged simulation.
+
+    The annotated variants carry intent for the happens-before race
+    detector in [lib/check] (see DESIGN.md for the policy):
+    {!read_racy}/{!charge_read_racy} mark reads that are racy by design and
+    re-validated before use; {!write_release} marks a publishing store
+    (lock release, ring-slot hand-off); {!rmw} is always acquire+release on
+    its line. Charged costs are identical to the plain variants. *)
 
 val read : int -> unit
+val read_racy : int -> unit
 val write : int -> unit
+val write_release : int -> unit
 val rmw : int -> unit
 val charge_read : int -> unit
+val charge_read_racy : int -> unit
 val flush : unit -> unit
 val work : int -> unit
+
+val sync_acquire : int -> unit
+(** Uncharged happens-before edge: acquire the clock last released on an
+    abstract token (for edges no single charged line carries). *)
+
+val sync_release : int -> unit

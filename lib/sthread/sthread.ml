@@ -10,6 +10,19 @@ type op_tag = Work_op | Access_op of Machine.kind * int | Yield_op
 
 type fault = Crash | Stall of int
 
+(* How an access participates in the happens-before model (lib/check's race
+   detector). The machine model charges [Racy_load] like [Load] and
+   [Release_store] like [Store]; only the trace event differs. *)
+type access_class = Load | Racy_load | Store | Release_store | Atomic
+
+type trace_ev =
+  | T_access of { tid : int; cls : access_class; addr : int }
+  | T_sync of { tid : int; acquire : bool; token : int }
+  | T_spawn of { parent : int option; child : int }
+  | T_unpark of { src : int option; dst : int }
+  | T_wake of { tid : int }
+  | T_retire of { tid : int }
+
 type tstate = {
   tid : int;
   hw : int;
@@ -32,6 +45,8 @@ type t = {
   states : (int, tstate) Hashtbl.t;  (* live threads, by tid *)
   mutable exit_hooks : (int -> unit) list;
   mutable fault_hook : (tid:int -> now:int -> tag:op_tag -> cycles:int -> fault option) option;
+  mutable sched_hook : (tid:int -> now:int -> tag:op_tag -> cycles:int -> int) option;
+  mutable tracer : (trace_ev -> unit) option;
 }
 
 (* The scheduler runs on a single OS thread, so "the thread currently
@@ -54,6 +69,8 @@ let create m =
     states = Hashtbl.create 64;
     exit_hooks = [];
     fault_hook = None;
+    sched_hook = None;
+    tracer = None;
   }
 
 let machine t = t.m
@@ -62,6 +79,9 @@ let live_threads t = t.live
 
 let on_exit t hook = t.exit_hooks <- t.exit_hooks @ [ hook ]
 let set_fault_hook t hook = t.fault_hook <- hook
+let set_sched_hook t hook = t.sched_hook <- hook
+let set_tracer t tr = t.tracer <- tr
+let emit t ev = match t.tracer with None -> () | Some f -> f ev
 
 type _ Effect.t += Suspend : (int * op_tag) -> unit Effect.t
 type _ Effect.t += Park : unit Effect.t
@@ -97,6 +117,9 @@ let unpark t ~tid =
   match Hashtbl.find_opt t.states tid with
   | None -> false
   | Some state ->
+      emit t
+        (T_unpark
+           { src = (match !current with Some (t', s) when t' == t -> Some s.tid | _ -> None); dst = tid });
       (match state.parked with
       | Some k ->
           state.parked <- None;
@@ -117,6 +140,7 @@ let retire t state =
   Machine.set_active t.m ~thread:state.hw false;
   t.live <- t.live - 1;
   Hashtbl.remove t.states state.tid;
+  emit t (T_retire { tid = state.tid });
   List.iter (fun hook -> hook state.tid) t.exit_hooks
 
 let rec exec t state f =
@@ -145,6 +169,14 @@ let rec exec t state f =
                         | Some Crash ->
                             state.killed <- true;
                             0)
+                  in
+                  (* schedule-exploration hook: extra cycles forced onto this
+                     scheduling point (lib/check preemption schedules) *)
+                  let delay =
+                    delay
+                    + (match t.sched_hook with
+                      | None -> 0
+                      | Some hook -> max 0 (hook ~tid:state.tid ~now:t.time ~tag ~cycles:n))
                   in
                   Heap.push t.events ~time:(t.time + max 0 n + delay) (fun () ->
                       current := Some (t, state);
@@ -184,6 +216,12 @@ and spawn t ~hw f =
   t.next_tid <- t.next_tid + 1;
   t.live <- t.live + 1;
   Hashtbl.replace t.states state.tid state;
+  emit t
+    (T_spawn
+       {
+         parent = (match !current with Some (t', s) when t' == t -> Some s.tid | _ -> None);
+         child = state.tid;
+       });
   Machine.set_active t.m ~thread:hw true;
   Heap.push t.events ~time:t.time (fun () ->
       current := Some (t, state);
@@ -226,24 +264,55 @@ let work n =
   let cost = Machine.work_cost t.m ~thread:state.hw n in
   suspend (cost + take_pending state)
 
-let access kind addr =
+(* Trace-event timing must match when the operation's effect is visible to
+   other threads. The codebase's convention is mutate-then-charge for plain
+   stores (the store is visible from the moment the charge is issued) but
+   charge-then-mutate for rmw (the compare-and-mutate happens atomically
+   when the charge returns), and loads observe when the charge returns. So
+   stores emit before the suspension, loads and rmw after — otherwise a
+   spin-reader could observe an unlock and emit its load before the
+   releaser's store event lands, losing the happens-before edge. *)
+let access ~cls kind addr =
   let t, state = ctx () in
   let cost = Machine.access t.m ~now:t.time ~thread:state.hw ~addr ~kind in
-  suspend_tagged (Access_op (kind, addr)) (cost + take_pending state)
+  let store = match cls with Store | Release_store -> true | _ -> false in
+  if store then emit t (T_access { tid = state.tid; cls; addr });
+  suspend_tagged (Access_op (kind, addr)) (cost + take_pending state);
+  if not store then emit t (T_access { tid = state.tid; cls; addr })
 
-let read addr = access Machine.Read addr
-let write addr = access Machine.Write addr
-let rmw addr = access Machine.Rmw addr
+let read addr = access ~cls:Load Machine.Read addr
+let read_racy addr = access ~cls:Racy_load Machine.Read addr
+let write addr = access ~cls:Store Machine.Write addr
+let write_release addr = access ~cls:Release_store Machine.Write addr
+let rmw addr = access ~cls:Atomic Machine.Rmw addr
 
 let access_pipelined ~factor ~kind addr =
   assert (factor >= 1);
   let t, state = ctx () in
   let cost = Machine.access t.m ~now:t.time ~thread:state.hw ~addr ~kind in
-  suspend_tagged (Access_op (kind, addr)) (max 1 (cost / factor) + take_pending state)
+  let cls =
+    match kind with Machine.Read -> Load | Machine.Write -> Store | Machine.Rmw -> Atomic
+  in
+  if cls = Store then emit t (T_access { tid = state.tid; cls; addr });
+  suspend_tagged (Access_op (kind, addr)) (max 1 (cost / factor) + take_pending state);
+  if cls <> Store then emit t (T_access { tid = state.tid; cls; addr })
 
-let charge_read addr =
+let charge_read_cls cls addr =
   let t, state = ctx () in
-  state.pending <- state.pending + Machine.access t.m ~now:t.time ~thread:state.hw ~addr ~kind:Machine.Read
+  state.pending <-
+    state.pending + Machine.access t.m ~now:t.time ~thread:state.hw ~addr ~kind:Machine.Read;
+  emit t (T_access { tid = state.tid; cls; addr })
+
+let charge_read addr = charge_read_cls Load addr
+let charge_read_racy addr = charge_read_cls Racy_load addr
+
+let sync_acquire token =
+  let t, state = ctx () in
+  emit t (T_sync { tid = state.tid; acquire = true; token })
+
+let sync_release token =
+  let t, state = ctx () in
+  emit t (T_sync { tid = state.tid; acquire = false; token })
 
 let flush () =
   let _, state = ctx () in
@@ -258,12 +327,13 @@ let yield () =
   suspend_tagged Yield_op (1 + take_pending state)
 
 let park () =
-  let _, state = ctx () in
+  let t, state = ctx () in
   (* settle batched traversal charges before blocking *)
   let p = take_pending state in
   if p > 0 then suspend p;
   state.park_gen <- state.park_gen + 1;
-  Effect.perform Park
+  Effect.perform Park;
+  emit t (T_wake { tid = state.tid })
 
 let park_for d =
   if d <= 0 then invalid_arg "Sthread.park_for";
@@ -282,6 +352,7 @@ let park_for d =
         ignore (unpark t ~tid:state.tid)
       end);
   Effect.perform Park;
+  emit t (T_wake { tid = state.tid });
   state.timed_out
 
 type sched = t

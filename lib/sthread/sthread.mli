@@ -72,6 +72,39 @@ val set_fault_hook :
     every charged operation of every thread, so a deterministic, seeded
     plan (see [Dps_faults]) yields bit-identical chaos replays. *)
 
+(** {1 Concurrency-checking hooks (lib/check)} *)
+
+val set_sched_hook : t -> (tid:int -> now:int -> tag:op_tag -> cycles:int -> int) option -> unit
+(** Install (or clear) the schedule-exploration hook. Like the fault hook
+    it is consulted at every scheduling point, but it only perturbs timing:
+    the returned value (clamped at 0) is added to the suspension's charge,
+    forcing a preemption — other runnable threads proceed first. A seeded
+    hook therefore drives one deterministic member of the schedule space;
+    see [Dps_check.Schedule]. Composes with the fault hook (delays add). *)
+
+type access_class = Load | Racy_load | Store | Release_store | Atomic
+(** How a charged access participates in the happens-before model consumed
+    by the race detector. Costs are identical to the plain kinds; only the
+    emitted trace event differs. [Racy_load] marks a read that is racy by
+    design (optimistic traversals that re-validate); [Release_store] is a
+    publishing store (lock release, ring-slot hand-off); [Atomic] is every
+    read-modify-write. *)
+
+type trace_ev =
+  | T_access of { tid : int; cls : access_class; addr : int }
+  | T_sync of { tid : int; acquire : bool; token : int }
+      (** explicit happens-before edge on an abstract token
+          ({!sync_acquire} / {!sync_release}) *)
+  | T_spawn of { parent : int option; child : int }
+  | T_unpark of { src : int option; dst : int }
+  | T_wake of { tid : int }  (** a {!park} returned *)
+  | T_retire of { tid : int }
+
+val set_tracer : t -> (trace_ev -> unit) option -> unit
+(** Install (or clear) the event tracer. Access events are emitted after
+    the charge is paid — i.e. at the point the mutation the access stands
+    for actually lands — so event order equals effect order. *)
+
 (** {1 Operations available inside a simulated thread} *)
 
 val in_sim : unit -> bool
@@ -96,11 +129,31 @@ val work : int -> unit
 val read : int -> unit
 (** Charged load of one cache line; a scheduling point. *)
 
+val read_racy : int -> unit
+(** Charged load annotated as racy by design — an optimistic read whose
+    value is re-validated before use (optik version reads, lazy-list
+    traversals, RLU reads). Costs exactly like {!read}; the race detector
+    excuses it instead of reporting. *)
+
 val write : int -> unit
 (** Charged store; a scheduling point. *)
 
+val write_release : int -> unit
+(** Charged store with release semantics: publishes the writer's
+    happens-before clock on the line, picked up by later loads of the same
+    line (lock release, ring-slot hand-off). Costs exactly like {!write}. *)
+
 val rmw : int -> unit
-(** Charged atomic read-modify-write; a scheduling point. *)
+(** Charged atomic read-modify-write; a scheduling point. Acquire+release
+    on the line in the happens-before model. *)
+
+val sync_acquire : int -> unit
+(** Uncharged happens-before annotation: acquire the clock last released on
+    abstract token [tok] (for edges that no single charged line carries). *)
+
+val sync_release : int -> unit
+(** Uncharged counterpart of {!sync_acquire}: release the caller's clock on
+    the token. *)
 
 val access_pipelined : factor:int -> kind:Dps_machine.Machine.kind -> int -> unit
 (** Charged access whose latency is divided by [factor] (at least one
@@ -112,6 +165,9 @@ val access_pipelined : factor:int -> kind:Dps_machine.Machine.kind -> int -> uni
 val charge_read : int -> unit
 (** Account a load without suspending — used by long read-only traversals to
     batch up to a handful of hops per scheduling point. Pair with {!flush}. *)
+
+val charge_read_racy : int -> unit
+(** {!charge_read} annotated as racy by design, like {!read_racy}. *)
 
 val flush : unit -> unit
 (** Suspend for all cycles accumulated by {!charge_read} (no-op if none). *)

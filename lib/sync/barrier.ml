@@ -13,12 +13,17 @@ let await t =
   if t.count = t.parties then begin
     t.count <- 0;
     t.sense <- my_sense;
-    Simops.write t.addr
+    Simops.write_release t.addr
   end
   else begin
+    (* observe the sense flip only through charged (acquiring) reads *)
     let b = Backoff.create ~initial:32 ~cap:512 () in
-    while t.sense <> my_sense do
+    let rec wait () =
       Simops.read t.addr;
-      if t.sense <> my_sense then Backoff.once b
-    done
+      if t.sense <> my_sense then begin
+        Backoff.once b;
+        wait ()
+      end
+    in
+    wait ()
   end

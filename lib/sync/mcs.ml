@@ -37,12 +37,19 @@ let acquire t =
   | None -> ()
   | Some p ->
       p.next <- Some q;
-      Simops.write p.qaddr;
+      Simops.write_release p.qaddr;
+      (* every observation of the hand-off goes through a charged read: the
+         read that sees locked=false is the acquire side of the releaser's
+         releasing store *)
       let b = Backoff.create ~initial:16 ~cap:2048 () in
-      while q.locked do
+      let rec wait () =
         Simops.read q.qaddr;
-        if q.locked then Backoff.once b
-      done
+        if q.locked then begin
+          Backoff.once b;
+          wait ()
+        end
+      in
+      wait ()
 
 let release t =
   let q = qnode_for t in
@@ -50,19 +57,22 @@ let release t =
   match q.next with
   | Some n ->
       n.locked <- false;
-      Simops.write n.qaddr
+      Simops.write_release n.qaddr
   | None -> (
       (* try to swing tail back to empty *)
       Simops.rmw t.tail_addr;
       match t.tail with
       | Some q' when q' == q -> t.tail <- None
       | Some _ | None ->
-          (* a successor is between swap and link: wait for it to appear *)
-          while q.next = None do
-            Simops.read q.qaddr
-          done;
+          (* a successor is between swap and link: wait for it to appear,
+             observing the link through a charged (acquiring) read *)
+          let rec wait_link () =
+            Simops.read q.qaddr;
+            if q.next = None then wait_link ()
+          in
+          wait_link ();
           let n = Option.get q.next in
           n.locked <- false;
-          Simops.write n.qaddr)
+          Simops.write_release n.qaddr)
 
 let held t = t.tail <> None

@@ -6,7 +6,9 @@ let create alloc = { addr = Dps_sthread.Alloc.line alloc; version = 0 }
 let embed ~addr = { addr; version = 0 }
 
 let get_version t =
-  Simops.read t.addr;
+  (* racy by design: optik locks embed in data lines, so the optimistic
+     version read races the holder's field stores; callers re-validate *)
+  Simops.read_racy t.addr;
   t.version
 
 let is_locked v = v land 1 = 1
@@ -37,4 +39,4 @@ let lock t =
 let unlock t =
   assert (is_locked t.version);
   t.version <- t.version + 1;
-  Simops.write t.addr
+  Simops.write_release t.addr

@@ -18,7 +18,9 @@ let try_acquire t =
 let acquire t =
   let b = Backoff.create () in
   let rec loop () =
-    Simops.read t.addr;
+    (* racy by design: spinlocks embed in data lines (lazy lists), so the
+       spin read may race the holder's field stores; the rmw re-checks *)
+    Simops.read_racy t.addr;
     if t.locked then begin
       Backoff.once b;
       loop ()
@@ -50,7 +52,7 @@ let release t =
   assert t.locked;
   t.locked <- false;
   t.owner <- -1;
-  Simops.write t.addr
+  Simops.write_release t.addr
 
 let held t = t.locked
 let owner t = if t.locked then Some t.owner else None
@@ -59,5 +61,5 @@ let break_lock t =
   if t.locked then begin
     t.locked <- false;
     t.owner <- -1;
-    Simops.write t.addr
+    Simops.write_release t.addr
   end

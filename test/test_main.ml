@@ -16,4 +16,5 @@ let () =
       ("parsec", Test_parsec.suite);
       ("btree", Test_btree.suite);
       ("net", Test_net.suite);
+      ("check", Test_check.suite);
     ]
