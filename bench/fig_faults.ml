@@ -81,7 +81,7 @@ let print_health ~label (h : Dps.health) =
 
 let fig_crashes () =
   print_header "Fault figure (a): throughput vs clients crashed mid-run (40 threads, 200-cycle ops)";
-  let counts = if quick then [ 0; 4; 8 ] else [ 0; 2; 4; 8; 12 ] in
+  let counts = if quick then [ 0; 8 ] else [ 0; 2; 4; 8; 12 ] in
   Printf.printf "x = crashed clients (spread across localities)\n";
   let pts =
     List.map
@@ -95,7 +95,7 @@ let fig_crashes () =
 
 let fig_stalls () =
   print_header "Fault figure (b): throughput vs stall/delay rate (40 threads, no crashes)";
-  let rates = if quick then [ 0.0; 0.005; 0.02 ] else [ 0.0; 0.001; 0.005; 0.01; 0.02 ] in
+  let rates = if quick then [ 0.0; 0.02 ] else [ 0.0; 0.001; 0.005; 0.01; 0.02 ] in
   Printf.printf "x = P(stall <=2000cy) per scheduling point; delay rate = 2x on memory accesses\n";
   let pts =
     List.map

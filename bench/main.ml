@@ -30,6 +30,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("net", "memcached over the simulated network front-end", Fig_net.all);
     ("ablations", "DPS design-knob ablations", Fig_ablation.all);
     ("faults", "throughput under injected crashes/stalls", Fig_faults.all);
+    ("batch", "request batching and adaptive polling on the DPS hot path", Fig_batch.all);
     ("bechamel", "Bechamel kernels (one per figure)", Bechamel_suite.run);
   ]
 

@@ -134,6 +134,10 @@ module Events = struct
   let pending t = List.length t.queue
 
   let pump t =
+    (* push out any staged request batch first: an event loop that only
+       pumps occasionally must not leave submissions parked in the
+       staging line past their flush age *)
+    Dps.flush_pending t.dps;
     let fired = ref 0 in
     let still_pending =
       List.filter

@@ -71,8 +71,9 @@ module Events : sig
     {!pump} (immediately at the next pump for local execution). *)
 
   val pump : 'a t -> int
-(** One loop turn: collect arrived completions, fire their callbacks, serve
-    delegated requests. Returns the number of callbacks fired. *)
+(** One loop turn: flush any staged request batch, collect arrived
+    completions, fire their callbacks, serve delegated requests. Returns
+    the number of callbacks fired. *)
 
   val pending : 'a t -> int
 (** Submitted operations whose callbacks have not fired yet. *)

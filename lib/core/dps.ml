@@ -12,34 +12,84 @@ type partition_info = { pid : int; node : int; alloc : Alloc.t }
    reply hand-off loses its happens-before edge. *)
 let failpoint_skip_completion_fence = ref false
 
-(* One single-cache-line message, as in §4.2: toggle bit, operation,
-   return value. The toggle is set by the sender and cleared by the
-   partition when the reply (in [ret]) is ready. [claim] is the serving
-   thread's id while the operation is in flight, so recovery code can tell
-   "in progress" from "lost with its server". [cancelled] marks a slot
-   whose sender gave up (the next server discards it in ring order);
-   [aborted] is the converse signal — a reaper declaring the operation
-   lost, telling the sender to re-issue. *)
-type msg = {
+(* Test-only mutation (lib/check self-test): when set, flushing a staged
+   batch silently drops its last asynchronous operation — the accounting
+   oracle must catch the lost update. *)
+let failpoint_drop_batch_flush = ref false
+
+(* A message line carries the header word (toggle, count, claim) plus up to
+   seven 8-byte operation descriptors, so a batch still moves as exactly one
+   cache line — larger batches would reintroduce the per-line coherence
+   cost batching exists to amortize. *)
+let max_batch = 7
+
+(* One operation inside a multi-op message. An entry is *claimed* (its op
+   taken) before the dispatch work is charged, so a second server never
+   double-executes and a crash mid-dispatch leaves a recognisably lost
+   entry. [eret]/[edone] buffer the reply until the whole batch publishes;
+   [ecancelled] marks an entry whose sender gave up (a tombstone, discarded
+   with the batch); [ecell] points back at the sender's completion record. *)
+type entry = {
+  mutable eop : (unit -> int) option;
+  mutable eret : int;
+  mutable edone : bool;
+  mutable ecancelled : bool;
+  mutable ecell : remote option;
+}
+
+(* One single-cache-line message, as in §4.2, generalised to [count]
+   operations: toggle bit, per-entry descriptors, return values. The toggle
+   is set by the sender when the batch is published and cleared by the
+   partition when every reply is ready — one releasing store acks the whole
+   batch. [claim] is the serving thread's id while the batch is in flight,
+   so recovery code can tell "in progress" from "lost with its server". *)
+and msg = {
   maddr : int;
   mutable toggle : bool;
-  mutable op : (unit -> int) option;
-  mutable ret : int;
+  mutable count : int;
   mutable claim : int;
-  mutable cancelled : bool;
-  mutable aborted : bool;
+  entries : entry array;
+}
+
+(* Sender-side life cycle of one delegated operation. [Staged]: coalescing
+   in the sender's per-partition staging buffer, not yet visible to the
+   partition. [Flushed]: published as entry [i] of a ring message.
+   [Done]/[Lost]: the server filled the cell at batch publish (or a
+   recovery path declared the operation lost and the sender must
+   re-issue). *)
+and rstate = Staged of stage | Flushed of msg * int | Done of int | Lost
+
+and remote = {
+  mutable state : rstate;
+  mutable pid : int;
+  mutable fresh : msg option;
+      (* the message line holding a completion the sender has not read yet:
+         the server fills the cell when it publishes (its stores are
+         visible at issue), but the *sender* still pays the line transfer
+         that fetches the reply — the pickup read — on its next
+         observation. Cleared by every charged poll of the line. *)
+  mutable reissue : unit -> unit;
+      (* re-route and re-send the same operation into this same record;
+         used after partition failover or a crashed server. Recomputes the
+         namespace lookup, so a retargeted bucket lands on its new owner. *)
+}
+
+(* Hierarchical aggregation (the batching analogue of the paper's §4.2
+   single-line messages): operations bound for one remote partition
+   accumulate in a staging line allocated on the *sender's* socket, and
+   cross the interconnect as a group when the batch fills or ages out.
+   The stage is strictly thread-private — owner = flusher = awaiter — so
+   it needs no synchronization and no recovery protocol of its own. *)
+and stage = {
+  spid : int;
+  saddr : int;
+  sops : (unit -> int) option array;
+  scells : remote option array;
+  mutable sn : int;
+  mutable sopened : int;  (* time the oldest staged op arrived *)
 }
 
 type completion = Local of int | Remote of remote
-
-and remote = {
-  mutable slot : msg;
-  mutable pid : int;
-  reissue : unit -> completion;
-      (* re-route and re-send the same operation; used after partition
-         failover or a crashed server. Recomputes the namespace lookup, so
-         a retargeted bucket lands on its new owner. *)
-}
 
 (* A ring of messages for one (client, partition) pair, allocated on the
    partition's NUMA node. The client owns [send_idx], the serving peer owns
@@ -70,6 +120,7 @@ type client = {
          when this client adopts an exiting peer's share *)
   mutable cursor : int;  (* round-robin scan position, for serving fairness *)
   mutable cstate : cstate;
+  mutable flushing : bool;  (* re-entrancy guard: flush → serve → flush *)
 }
 
 type health = {
@@ -95,6 +146,9 @@ type 'a t = {
   dispatch_cost : int;
   self_healing : bool;
   await_timeout : int;
+  batch : int;
+  batch_age : int;
+  stages : stage array array;  (* [tid].(pid); empty when batch = 1 *)
   placement : int array;
   clients : (int, client) Hashtbl.t;  (* simulated thread id -> client *)
   members : client list array;  (* per partition: clients ever attached *)
@@ -110,6 +164,7 @@ type 'a t = {
   mutable remaining : int;
   mutable n_delegated : int;
   mutable n_local : int;
+  mutable n_flushes : int;
   mutable n_takeovers : int;
   mutable n_adoptions : int;
   mutable n_retries : int;
@@ -130,6 +185,7 @@ let partition_data t pid = t.partitions.(pid).data
 let client_hw t i = t.placement.(i)
 let delegated_ops t = t.n_delegated
 let local_ops t = t.n_local
+let batch_flushes t = t.n_flushes
 
 let health t =
   let now = Sthread.now t.sched in
@@ -201,7 +257,9 @@ let partition_has_live_member t pid =
    locks and claims can be recognised); a thread that dies while attached
    is a crash — account for its unfinished [client_done], hand its serving
    share to a peer, and fail the partition over if it was the last one.
-   Runs in the dying thread's context: bookkeeping only, nothing charged. *)
+   Runs in the dying thread's context: bookkeeping only, nothing charged.
+   Operations still staged (never published) die with the client — they
+   were never acked, so exactly-once is preserved. *)
 let handle_exit t sid =
   Hashtbl.replace t.dead_tids sid ();
   match Hashtbl.find_opt t.clients sid with
@@ -222,8 +280,10 @@ let handle_exit t sid =
 
 let create sched ~nclients ~locality_size ~hash ?ns_sz ?(ring_slots = 16) ?(check_budget = 4)
     ?(marshal_cost = 100) ?(dispatch_cost = 250) ?(dedicated_pollers = false)
-    ?(self_healing = false) ?(await_timeout = 50_000) ~mk_data () =
+    ?(self_healing = false) ?(await_timeout = 50_000) ?(batch = 1) ?(batch_age = 1500) ~mk_data
+    () =
   assert (nclients > 0 && locality_size > 0);
+  let batch = max 1 (min batch max_batch) in
   let m = Sthread.machine sched in
   let topo = Machine.topology m in
   let placement = Topology.placement topo ~n:nclients in
@@ -237,11 +297,11 @@ let create sched ~nclients ~locality_size ~hash ?ns_sz ?(ring_slots = 16) ?(chec
         {
           maddr = Machine.alloc m (Machine.On_node node) ~lines:1;
           toggle = false;
-          op = None;
-          ret = 0;
+          count = 0;
           claim = -1;
-          cancelled = false;
-          aborted = false;
+          entries =
+            Array.init batch (fun _ ->
+                { eop = None; eret = 0; edone = false; ecancelled = false; ecell = None });
         }
       in
       let rlock =
@@ -252,6 +312,21 @@ let create sched ~nclients ~locality_size ~hash ?ns_sz ?(ring_slots = 16) ?(chec
       { slots = Array.init ring_slots mk_slot; send_idx = 0; recv_idx = 0; last_served = 0; rlock }
     in
     { info; data = mk_data info; rings = Array.init nclients mk_ring }
+  in
+  let stages =
+    if batch <= 1 then [||]
+    else
+      Array.init nclients (fun c ->
+          let node = Topology.socket_of_thread topo placement.(c) in
+          Array.init nparts (fun spid ->
+              {
+                spid;
+                saddr = Machine.alloc m (Machine.On_node node) ~lines:1;
+                sops = Array.make batch None;
+                scells = Array.make batch None;
+                sn = 0;
+                sopened = 0;
+              }))
   in
   let t =
     {
@@ -265,6 +340,9 @@ let create sched ~nclients ~locality_size ~hash ?ns_sz ?(ring_slots = 16) ?(chec
       dispatch_cost;
       self_healing;
       await_timeout;
+      batch;
+      batch_age;
+      stages;
       placement;
       clients = Hashtbl.create (2 * nclients);
       members = Array.make nparts [];
@@ -277,6 +355,7 @@ let create sched ~nclients ~locality_size ~hash ?ns_sz ?(ring_slots = 16) ?(chec
       remaining = nclients;
       n_delegated = 0;
       n_local = 0;
+      n_flushes = 0;
       n_takeovers = 0;
       n_adoptions = 0;
       n_retries = 0;
@@ -304,7 +383,16 @@ let attach t ~client =
          (List.init t.nclients Fun.id))
   in
   let cl =
-    { sid; tid = client; hw = Sthread.self_hw (); my_pid; served; cursor = 0; cstate = Issuing }
+    {
+      sid;
+      tid = client;
+      hw = Sthread.self_hw ();
+      my_pid;
+      served;
+      cursor = 0;
+      cstate = Issuing;
+      flushing = false;
+    }
   in
   Hashtbl.replace t.clients sid cl;
   t.members.(my_pid) <- cl :: t.members.(my_pid)
@@ -314,65 +402,79 @@ let me t =
   | Some c -> c
   | None -> failwith "Dps: thread not attached"
 
-let detach t =
-  let sid = Sthread.self_id () in
-  match Hashtbl.find_opt t.clients sid with
-  | None -> failwith "Dps: thread not attached"
-  | Some cl ->
-      Hashtbl.remove t.clients sid;
-      cl.cstate <- Gone;
-      adopt_share t cl;
-      t.members.(cl.my_pid) <- List.filter (fun p -> p != cl) t.members.(cl.my_pid)
-
 let cursor_advance cl scanned n = if n > 0 then cl.cursor <- (cl.cursor + max 1 scanned) mod n
 
 (* Serve the requests pending in one ring, assuming exclusive access (the
-   ring lock, if any, is held by the caller). A served slot is *claimed*
-   (op taken, claim set) before the dispatch work is charged, so a second
-   server never double-executes, and a crash mid-dispatch leaves a claim
-   that recovery can recognise as lost. Slots whose sender gave up
-   ([cancelled]) are discarded in ring order; slots claimed by a dead
-   server are aborted back to their sender. *)
+   ring lock, if any, is held by the caller). The batch is the unit of
+   service: each entry is claimed (op taken) before its dispatch work is
+   charged, so a second server never double-executes and a crash
+   mid-dispatch leaves a claim that recovery can recognise as lost —
+   entries the dead server already finished keep their buffered reply and
+   are *not* re-dispatched, so a takeover of a partially served batch stays
+   exactly-once. All replies then publish with one releasing store.
+   [budget] is approximate: a batch is never split across budgets. *)
 let serve_slots t ~pid ring ~budget =
+  let self = Sthread.self_id () in
   let served = ref 0 in
   let continue_ring = ref true in
   while !continue_ring && !served < budget do
     let slot = ring.slots.(ring.recv_idx mod Array.length ring.slots) in
     Simops.read slot.maddr;
-    match slot.op with
-    | Some op when slot.toggle ->
-        slot.op <- None;
-        slot.claim <- Sthread.self_id ();
-        (* request unmarshalling and dispatch *)
-        Simops.work t.dispatch_cost;
-        let v = op () in
-        slot.ret <- v;
-        slot.claim <- -1;
-        slot.toggle <- false;
-        if !failpoint_skip_completion_fence then Simops.write slot.maddr
-        else Simops.write_release slot.maddr;
-        ring.recv_idx <- ring.recv_idx + 1;
-        ring.last_served <- Sthread.time ();
-        t.last_served.(pid) <- ring.last_served;
-        t.pending.(pid) <- t.pending.(pid) - 1;
-        incr served
-    | None when slot.toggle && slot.cancelled ->
-        (* sender re-issued elsewhere; consume the tombstone in order *)
-        slot.cancelled <- false;
-        slot.toggle <- false;
-        Simops.write_release slot.maddr;
-        ring.recv_idx <- ring.recv_idx + 1;
-        t.pending.(pid) <- t.pending.(pid) - 1
-    | None when slot.toggle && slot.claim >= 0 && Hashtbl.mem t.dead_tids slot.claim ->
-        (* claimed by a server that died mid-dispatch: the operation is
-           lost; tell the sender to re-issue *)
-        slot.claim <- -1;
-        slot.aborted <- true;
-        slot.toggle <- false;
-        Simops.write_release slot.maddr;
-        ring.recv_idx <- ring.recv_idx + 1;
-        t.pending.(pid) <- t.pending.(pid) - 1
-    | Some _ | None -> continue_ring := false
+    if not slot.toggle then continue_ring := false
+    else if slot.claim >= 0 && not (Hashtbl.mem t.dead_tids slot.claim) then
+      (* a live server is mid-dispatch (reachable only through a broken
+         ring lock); leave the batch to it *)
+      continue_ring := false
+    else begin
+      let n = slot.count in
+      slot.claim <- self;
+      for i = 0 to n - 1 do
+        let e = slot.entries.(i) in
+        match e.eop with
+        | Some op when e.ecell = None ->
+            (* fire-and-forget: no awaiter could ever re-issue this, so
+               keep the descriptor armed until the operation has run — a
+               takeover of this slot after we crash mid-dispatch re-runs
+               it. Safe against double dispatch because only a dead
+               claimer's slot can be re-claimed. *)
+            Simops.work t.dispatch_cost;
+            e.eret <- op ();
+            e.edone <- true;
+            e.eop <- None;
+            incr served
+        | Some op ->
+            (* awaited: disarm before dispatching, so an escalating
+               awaiter that still sees the descriptor can cancel and
+               re-issue without racing our execution *)
+            e.eop <- None;
+            (* request unmarshalling and dispatch, per operation *)
+            Simops.work t.dispatch_cost;
+            e.eret <- op ();
+            e.edone <- true;
+            incr served
+        | None -> ()
+      done;
+      (* one releasing store acks the whole batch: fill every completion
+         cell, clear the toggle, then a single line transfer *)
+      for i = 0 to n - 1 do
+        let e = slot.entries.(i) in
+        (match e.ecell with
+        | Some r ->
+            r.state <- (if e.edone then Done e.eret else Lost);
+            r.fresh <- Some slot
+        | None -> ());
+        e.ecell <- None;
+        e.ecancelled <- false
+      done;
+      slot.claim <- -1;
+      slot.toggle <- false;
+      if !failpoint_skip_completion_fence then Simops.write slot.maddr
+      else Simops.write_release slot.maddr;
+      ring.recv_idx <- ring.recv_idx + 1;
+      ring.last_served <- Sthread.time ();
+      t.last_served.(pid) <- ring.last_served;
+      t.pending.(pid) <- t.pending.(pid) - n
+    end
   done;
   !served
 
@@ -389,24 +491,6 @@ let serve_ring t ~pid ring ~budget =
     (match ring.rlock with None -> () | Some l -> Spinlock.release l);
     served
   end
-
-(* Serve at most [budget] pending requests from this client's share of its
-   partition's rings, scanning round-robin from a persistent cursor so no
-   ring starves under load; returns the number served. *)
-let serve_as t cl ~max:budget =
-  let p = t.partitions.(cl.my_pid) in
-  let served = ref 0 in
-  let i = ref 0 in
-  let n = Array.length cl.served in
-  while !served < budget && !i < n do
-    let _, ring_idx = cl.served.((cl.cursor + !i) mod n) in
-    served := !served + serve_ring t ~pid:cl.my_pid p.rings.(ring_idx) ~budget:(budget - !served);
-    incr i
-  done;
-  cursor_advance cl !i n;
-  !served
-
-let serve t ~max = serve_as t (me t) ~max
 
 (* Takeover (§4.4 under faults): serve *every* ring of partition [pid]
    ourselves, like a dedicated poller would — used by a sender whose
@@ -450,8 +534,9 @@ let run_local t pid op =
 (* Claim a free slot in this client's ring to [pid], serving own duties
    while the ring is full. Under self-healing, a ring stuck full past the
    timeout (its servers died) is drained by takeover so the sender is
-   never wedged in claim. *)
-let claim_slot t cl pid =
+   never wedged in claim. Mutually recursive with the serving path: serving
+   flushes aged batches, which claims slots. *)
+let rec claim_slot t cl pid =
   let ring = t.partitions.(pid).rings.(cl.tid) in
   let deadline = ref (if t.self_healing then Sthread.time () + t.await_timeout else max_int) in
   let rec try_claim () =
@@ -468,81 +553,232 @@ let claim_slot t cl pid =
     end
     else begin
       ring.send_idx <- ring.send_idx + 1;
-      slot.cancelled <- false;
-      slot.aborted <- false;
-      slot.claim <- -1;
       slot
     end
   in
   try_claim ()
 
-let send t cl pid op =
+(* Publish one staged batch into a ring slot: claim, copy the descriptor
+   group out of the staging line, one releasing store. The whole batch
+   crosses to the partition's socket as a single message-line transfer.
+   Under [failpoint_drop_batch_flush] the last staged *asynchronous*
+   operation is silently dropped (an op with a waiter would hang the
+   mutant instead of corrupting state, which is the bug we want the
+   accounting oracle to catch). *)
+and flush_stage t cl stage =
+  if stage.sn > 0 then begin
+    cl.flushing <- true;
+    let pid = stage.spid in
+    let n0 = stage.sn in
+    let n =
+      if !failpoint_drop_batch_flush && n0 > 1 && stage.scells.(n0 - 1) = None then n0 - 1
+      else n0
+    in
+    let slot = claim_slot t cl pid in
+    (* gather the staged descriptors for the group copy *)
+    Simops.charge_read stage.saddr;
+    for i = 0 to n - 1 do
+      let e = slot.entries.(i) in
+      e.eop <- stage.sops.(i);
+      e.eret <- 0;
+      e.edone <- false;
+      e.ecancelled <- false;
+      e.ecell <- stage.scells.(i);
+      match stage.scells.(i) with
+      | Some r ->
+          r.state <- Flushed (slot, i);
+          r.pid <- pid
+      | None -> ()
+    done;
+    for i = 0 to n0 - 1 do
+      stage.sops.(i) <- None;
+      stage.scells.(i) <- None
+    done;
+    stage.sn <- 0;
+    slot.count <- n;
+    slot.toggle <- true;
+    Simops.write_release slot.maddr;
+    t.n_delegated <- t.n_delegated + n;
+    t.n_flushes <- t.n_flushes + 1;
+    t.pending.(pid) <- t.pending.(pid) + n;
+    cl.flushing <- false
+  end
+
+(* Flush every staged batch whose oldest operation is older than
+   [batch_age] — the bound that keeps coalescing from turning into
+   unbounded latency. Runs at every serve, so a client that is busy
+   serving still pushes its own aged batches out. *)
+and flush_aged t cl =
+  if Array.length t.stages > 0 && not cl.flushing then begin
+    let now = Sthread.time () in
+    Array.iter
+      (fun st -> if st.sn > 0 && now - st.sopened >= t.batch_age then flush_stage t cl st)
+      t.stages.(cl.tid)
+  end
+
+(* Serve at most [budget] pending requests from this client's share of its
+   partition's rings, scanning round-robin from a persistent cursor so no
+   ring starves under load; returns the number served. *)
+and serve_as t cl ~max:budget =
+  flush_aged t cl;
+  let p = t.partitions.(cl.my_pid) in
+  let served = ref 0 in
+  let i = ref 0 in
+  let n = Array.length cl.served in
+  while !served < budget && !i < n do
+    let _, ring_idx = cl.served.((cl.cursor + !i) mod n) in
+    served := !served + serve_ring t ~pid:cl.my_pid p.rings.(ring_idx) ~budget:(budget - !served);
+    incr i
+  done;
+  cursor_advance cl !i n;
+  !served
+
+let serve t ~max = serve_as t (me t) ~max
+
+let flush_all t cl =
+  if Array.length t.stages > 0 && not cl.flushing then
+    Array.iter (fun st -> if st.sn > 0 then flush_stage t cl st) t.stages.(cl.tid)
+
+let flush_pending t = flush_all t (me t)
+
+(* Direct, unbatched send — the [batch = 1] fast path, identical to the
+   paper's one-op-per-line protocol. *)
+let send_direct t cl pid fop cell =
   let slot = claim_slot t cl pid in
-  let p = t.partitions.(pid) in
   (* argument marshalling into the message line *)
   Simops.work t.marshal_cost;
-  slot.op <- Some (fun () -> op p.data);
+  let e = slot.entries.(0) in
+  e.eop <- Some fop;
+  e.eret <- 0;
+  e.edone <- false;
+  e.ecancelled <- false;
+  e.ecell <- cell;
+  (match cell with
+  | Some r ->
+      r.state <- Flushed (slot, 0);
+      r.pid <- pid
+  | None -> ());
+  slot.count <- 1;
   slot.toggle <- true;
   Simops.write_release slot.maddr;
   t.n_delegated <- t.n_delegated + 1;
-  t.pending.(pid) <- t.pending.(pid) + 1;
-  slot
+  t.pending.(pid) <- t.pending.(pid) + 1
 
-let rec execute t ~key op =
+(* Coalescing send: marshal into the thread-private staging line; the
+   batch publishes when full or aged. *)
+let stage_op t cl pid fop cell =
+  let stage = t.stages.(cl.tid).(pid) in
+  (* argument marshalling into the staging line (socket-local) *)
+  Simops.work t.marshal_cost;
+  Simops.write stage.saddr;
+  if stage.sn = 0 then stage.sopened <- Sthread.time ();
+  stage.sops.(stage.sn) <- Some fop;
+  stage.scells.(stage.sn) <- cell;
+  (match cell with
+  | Some r ->
+      r.state <- Staged stage;
+      r.pid <- pid
+  | None -> ());
+  stage.sn <- stage.sn + 1;
+  if stage.sn >= t.batch || Sthread.time () - stage.sopened >= t.batch_age then
+    flush_stage t cl stage
+
+let issue t cl pid fop cell =
+  if t.batch > 1 then stage_op t cl pid fop cell else send_direct t cl pid fop cell
+
+(* Build the completion record for a remote operation and issue it.
+   [route] recomputes the target partition on re-issue (a failed-over
+   bucket lands on its new owner); the record re-binds itself in place, so
+   every handle to it observes the retry. *)
+let remote_issue t op ~pid0 ~route =
+  let r = { state = Lost; pid = pid0; fresh = None; reissue = (fun () -> ()) } in
+  let go pid =
+    r.pid <- pid;
+    let cl = me t in
+    if pid = cl.my_pid then r.state <- Done (run_local t pid op)
+    else issue t cl pid (fun () -> op t.partitions.(pid).data) (Some r)
+  in
+  r.reissue <- (fun () -> go (route ()));
+  go pid0;
+  r
+
+let execute t ~key op =
   let cl = me t in
   let pid = partition_of_key t key in
   if pid = cl.my_pid then Local (run_local t pid op)
-  else Remote { slot = send t cl pid op; pid; reissue = (fun () -> execute t ~key op) }
+  else Remote (remote_issue t op ~pid0:pid ~route:(fun () -> partition_of_key t key))
 
 (* Escalation of a delegation stuck past the timeout: serve the target
    partition's whole ring set ourselves (most stalls resolve right there —
-   including our own slot), then decide from the slot's state whether to
-   keep waiting (a live server is mid-dispatch), or cancel and re-issue
-   (lost with a dead server, or wedged behind a lock we could not break). *)
-let escalate t (r : remote) =
+   including our own entry), then decide from the entry's state whether to
+   keep waiting (a live server is mid-dispatch, or our entry already
+   executed and only awaits the batch publish), or cancel and re-issue
+   (lost with a dead server, or wedged behind a lock we could not break).
+   A cancelled entry's cell is detached so a later recovery of the batch
+   cannot complete the superseded attempt. *)
+let escalate t (r : remote) slot i =
   ignore (takeover_serve t r.pid);
-  let slot = r.slot in
   Simops.read slot.maddr;
-  if not slot.toggle then `Check
-  else if slot.op <> None then begin
-    slot.op <- None;
-    slot.cancelled <- true;
-    `Reissue
-  end
-  else if slot.claim >= 0 && Hashtbl.mem t.dead_tids slot.claim then begin
-    slot.claim <- -1;
-    slot.cancelled <- true;
-    `Reissue
-  end
-  else begin
-    if not (partition_has_live_member t r.pid) then fail_over t r.pid;
-    `Wait
-  end
+  match r.state with
+  | Flushed (s, j) when s == slot && j = i && slot.toggle ->
+      let e = slot.entries.(i) in
+      if e.eop <> None then begin
+        e.eop <- None;
+        e.ecancelled <- true;
+        e.ecell <- None;
+        `Reissue
+      end
+      else if (not e.edone) && slot.claim >= 0 && Hashtbl.mem t.dead_tids slot.claim then begin
+        (* lost with a server that died mid-dispatch *)
+        e.ecancelled <- true;
+        e.ecell <- None;
+        `Reissue
+      end
+      else begin
+        if not (partition_has_live_member t r.pid) then fail_over t r.pid;
+        `Wait
+      end
+  | _ -> `Check
 
 let try_await t completion =
   match completion with
   | Local v -> Some v
-  | Remote r ->
-      let slot = r.slot in
-      Simops.read slot.maddr;
-      if not slot.toggle then begin
-        if not slot.aborted then Some slot.ret
-        else begin
+  | Remote r -> (
+      (* charge the pickup read if the server published the completion and
+         we have not yet paid the line transfer that fetches the reply *)
+      let pickup () =
+        match r.fresh with
+        | Some s ->
+            r.fresh <- None;
+            Simops.read s.maddr
+        | None -> ()
+      in
+      match r.state with
+      | Done v ->
+          pickup ();
+          Some v
+      | Lost ->
           (* the server crashed with our operation: re-route and re-send *)
-          slot.aborted <- false;
+          pickup ();
           t.n_retries <- t.n_retries + 1;
-          match r.reissue () with
-          | Local v -> Some v
-          | Remote r' ->
-              r.slot <- r'.slot;
-              r.pid <- r'.pid;
-              None
-        end
-      end
-      else begin
-        ignore (serve t ~max:t.check_budget);
-        None
-      end
+          r.reissue ();
+          (match r.state with Done v -> Some v | _ -> None)
+      | Staged stage ->
+          (* our own unflushed batch: force it out, then keep waiting *)
+          flush_stage t (me t) stage;
+          None
+      | Flushed (slot, _) -> (
+          Simops.read slot.maddr;
+          r.fresh <- None;
+          match r.state with
+          | Done v -> Some v
+          | Lost ->
+              t.n_retries <- t.n_retries + 1;
+              r.reissue ();
+              (match r.state with Done v -> Some v | _ -> None)
+          | _ ->
+              ignore (serve t ~max:t.check_budget);
+              None))
 
 let await t completion =
   match completion with
@@ -555,52 +791,65 @@ let await t completion =
       let deadline = ref (if t.self_healing then Sthread.time () + t.await_timeout else max_int) in
       let reissue_now () =
         t.n_retries <- t.n_retries + 1;
-        (match r.reissue () with
-        | Local v ->
-            (* the re-issued operation ran locally (failover made the key
-               ours): synthesize a completed slot — the abandoned ring slot
-               must keep its tombstone for in-order discard *)
-            r.slot <-
-              {
-                maddr = r.slot.maddr;
-                toggle = false;
-                op = None;
-                ret = v;
-                claim = -1;
-                cancelled = false;
-                aborted = false;
-              }
-        | Remote r' ->
-            r.slot <- r'.slot;
-            r.pid <- r'.pid);
+        r.reissue ();
         deadline := Sthread.time () + t.await_timeout;
         pause := 32
       in
+      (* charge the pickup read if the server published the completion and
+         we have not yet paid the line transfer that fetches the reply *)
+      let pickup () =
+        match r.fresh with
+        | Some s ->
+            r.fresh <- None;
+            Simops.read s.maddr
+        | None -> ()
+      in
       let rec spin () =
-        let slot = r.slot in
-        Simops.read slot.maddr;
-        if not slot.toggle then begin
-          if not slot.aborted then slot.ret
-          else begin
-            slot.aborted <- false;
+        match r.state with
+        | Done v ->
+            pickup ();
+            v
+        | Lost ->
+            pickup ();
             reissue_now ();
             spin ()
-          end
-        end
-        else begin
-          if serve_as t cl ~max:t.check_budget > 0 then pause := 32
-          else if t.self_healing && Sthread.time () > !deadline then begin
-            (match escalate t r with
-            | `Check | `Wait -> deadline := Sthread.time () + t.await_timeout
-            | `Reissue -> reissue_now ());
-            pause := 32
-          end
-          else begin
-            Simops.work !pause;
-            pause := min 4096 (2 * !pause)
-          end;
-          spin ()
-        end
+        | Staged stage ->
+            flush_stage t cl stage;
+            spin ()
+        | Flushed (slot, i) -> poll slot i
+      (* every observation of the reply goes through a charged read of the
+         message line — a completion discovered while serving is still
+         only *returned* after the poll that would fetch it *)
+      and poll slot i =
+        Simops.read slot.maddr;
+        r.fresh <- None;
+        match r.state with
+        | Done v -> v
+        | Lost ->
+            reissue_now ();
+            spin ()
+        | Staged _ -> spin ()
+        | Flushed _ ->
+            if serve_as t cl ~max:t.check_budget > 0 then begin
+              pause := 32;
+              poll slot i
+            end
+            else if t.self_healing && Sthread.time () > !deadline then begin
+              match escalate t r slot i with
+              | `Check | `Wait ->
+                  deadline := Sthread.time () + t.await_timeout;
+                  pause := 32;
+                  poll slot i
+              | `Reissue ->
+                  reissue_now ();
+                  pause := 32;
+                  spin ()
+            end
+            else begin
+              Simops.work !pause;
+              pause := min 4096 (2 * !pause);
+              poll slot i
+            end
       in
       spin ()
 
@@ -609,7 +858,8 @@ let call t ~key op = await t (execute t ~key op)
 let execute_async t ~key op =
   let cl = me t in
   let pid = partition_of_key t key in
-  if pid = cl.my_pid then ignore (run_local t pid op) else ignore (send t cl pid op)
+  if pid = cl.my_pid then ignore (run_local t pid op)
+  else issue t cl pid (fun () -> op t.partitions.(pid).data) None
 
 let execute_local t ~key op =
   let pid = partition_of_key t key in
@@ -623,28 +873,24 @@ let first_live_pid t ~fallback =
   let rec scan i = if i >= n then fallback else if not t.dead.(i) then i else scan (i + 1) in
   scan 0
 
-let rec execute_on t ~pid op =
+let execute_on t ~pid op =
   assert (pid >= 0 && pid < npartitions t);
   let cl = me t in
   if pid = cl.my_pid then Local (run_local t pid op)
   else
     Remote
-      {
-        slot = send t cl pid op;
-        pid;
-        reissue =
-          (fun () ->
-            (* a directly-targeted partition that died is re-routed to a
-               live one — best-effort, same relaxed contract as failover *)
-            let pid = if t.dead.(pid) then first_live_pid t ~fallback:pid else pid in
-            execute_on t ~pid op);
-      }
+      (remote_issue t op ~pid0:pid
+         ~route:(fun () ->
+           (* a directly-targeted partition that died is re-routed to a
+              live one — best-effort, same relaxed contract as failover *)
+           if t.dead.(pid) then first_live_pid t ~fallback:pid else pid))
 
 let call_on t ~pid op = await t (execute_on t ~pid op)
 
 let execute_async_on t ~pid op =
   let cl = me t in
-  if pid = cl.my_pid then ignore (run_local t pid op) else ignore (send t cl pid op)
+  if pid = cl.my_pid then ignore (run_local t pid op)
+  else issue t cl pid (fun () -> op t.partitions.(pid).data) None
 
 let range t op ~merge =
   let pending =
@@ -654,19 +900,42 @@ let range t op ~merge =
   | [] -> invalid_arg "Dps.range: no partitions"
   | v :: rest -> List.fold_left merge v rest
 
+let detach t =
+  let sid = Sthread.self_id () in
+  match Hashtbl.find_opt t.clients sid with
+  | None -> failwith "Dps: thread not attached"
+  | Some cl ->
+      flush_all t cl;
+      Hashtbl.remove t.clients sid;
+      cl.cstate <- Gone;
+      adopt_share t cl;
+      t.members.(cl.my_pid) <- List.filter (fun p -> p != cl) t.members.(cl.my_pid)
+
 (* S4.4 liveness: a dedicated polling thread for one locality. It checks
    every ring of the partition (not just one peer's share), so delegations
    make progress even when all the locality's clients are busy outside
-   DPS. Requires [~dedicated_pollers:true] at creation. *)
+   DPS. Requires [~dedicated_pollers:true] at creation.
+
+   Polling is adaptive: a handful of empty scans spin (a request landing
+   while the poller is hot is served within ~128 cycles), after which the
+   poller backs off into exponentially longer timed parks capped at 8192
+   cycles — an idle locality stops burning its core without giving up the
+   bounded-latency guarantee. *)
 let run_poller t ~pid =
   let p = t.partitions.(pid) in
   (match p.rings.(0).rlock with
   | Some _ -> ()
   | None -> failwith "Dps: create with ~dedicated_pollers:true to run pollers");
+  let idle_rounds = ref 0 in
   while t.remaining > 0 do
     let served = ref 0 in
     Array.iter (fun ring -> served := !served + serve_ring t ~pid ring ~budget:max_int) p.rings;
-    if !served = 0 then Simops.work 128
+    if !served > 0 then idle_rounds := 0
+    else begin
+      incr idle_rounds;
+      if !idle_rounds <= 4 then Simops.work 128
+      else ignore (Sthread.park_for (min 8192 (128 lsl min 6 (!idle_rounds - 4))))
+    end
   done
 
 (* Dynamic repartitioning (the paper assumes static partitioning and notes
@@ -699,17 +968,23 @@ let bucket_owner t ~bucket =
 
 let client_done t =
   (match Hashtbl.find_opt t.clients (Sthread.self_id ()) with
-  | Some cl when cl.cstate = Issuing ->
-      cl.cstate <- Done_issuing;
-      (* hand the serving share to a peer still issuing; with none, keep
-         it — our own [drain] (or exit-time adoption) covers it *)
-      if List.exists (fun p -> p != cl && p.cstate = Issuing) t.members.(cl.my_pid) then
-        adopt_share t cl
-  | _ -> ());
+  | Some cl ->
+      (* publish anything still coalescing — a finished client must leave
+         no staged work behind *)
+      flush_all t cl;
+      if cl.cstate = Issuing then begin
+        cl.cstate <- Done_issuing;
+        (* hand the serving share to a peer still issuing; with none, keep
+           it — our own [drain] (or exit-time adoption) covers it *)
+        if List.exists (fun p -> p != cl && p.cstate = Issuing) t.members.(cl.my_pid) then
+          adopt_share t cl
+      end
+  | None -> ());
   t.remaining <- t.remaining - 1
 
 let drain t =
   let cl = me t in
+  flush_all t cl;
   while t.remaining > 0 do
     if serve_as t cl ~max:t.check_budget = 0 then Simops.work 128
   done;

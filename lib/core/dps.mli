@@ -21,6 +21,12 @@ val failpoint_skip_completion_fence : bool ref
     completion publish is a plain store instead of a releasing one, so the
     race detector must flag the reply hand-off. Default [false]. *)
 
+val failpoint_drop_batch_flush : bool ref
+(** Test-only mutation for the lib/check self-test: when set, flushing a
+    staged batch silently drops its last asynchronous operation, so the
+    checker's accounting oracle must catch the lost update. Default
+    [false]. *)
+
 type partition_info = {
   pid : int;  (** partition index *)
   node : int;  (** NUMA node the partition is bound to *)
@@ -40,6 +46,8 @@ val create :
   ?dedicated_pollers:bool ->
   ?self_healing:bool ->
   ?await_timeout:int ->
+  ?batch:int ->
+  ?batch_age:int ->
   mk_data:(partition_info -> 'a) ->
   unit ->
   'a t
@@ -72,7 +80,19 @@ val create :
     share to a live peer, and a partition whose last member dies is
     failed over (its namespace buckets retarget onto live partitions with
     {!rebalance}'s relaxed contract — data is not migrated
-    automatically). *)
+    automatically).
+
+    [batch] (default 1, clamped to 7 — the descriptors must share the
+    message cache line with the header) turns on sender-side coalescing:
+    operations bound for one remote partition accumulate in a staging line
+    on the sender's socket and cross the interconnect as one multi-op
+    message, acked by a single releasing store. A batch publishes when it
+    fills or when its oldest operation is [batch_age] cycles old (default
+    1500) — and always before the sender blocks on one of its own staged
+    operations, at {!client_done}/{!detach}/{!drain}, or explicitly via
+    {!flush_pending} — so coalescing bounds, never breaks, latency and
+    ordering. With [batch = 1] the protocol is byte-identical to the
+    unbatched one-op-per-line scheme. *)
 
 val npartitions : 'a t -> int
 
@@ -153,8 +173,15 @@ val range : 'a t -> ('a -> int) -> merge:(int -> int -> int) -> int
 
 val serve : 'a t -> max:int -> int
 (** Serve up to [max] requests pending on the caller's partition rings;
-    returns the number served. Exposed for §4.4 liveness (dedicated
-    pollers) and for idle loops. *)
+    returns the number served ([max] is approximate — a batch is never
+    split). Also publishes any of the caller's staged batches that have
+    aged out. Exposed for §4.4 liveness (dedicated pollers) and for idle
+    loops. *)
+
+val flush_pending : 'a t -> unit
+(** Publish every batch the calling client still has staged, regardless of
+    age. A no-op when the instance was created with [batch = 1] (or
+    nothing is staged). *)
 
 val my_partition : 'a t -> int
 (** The calling client's own partition. *)
@@ -183,6 +210,11 @@ val drain : 'a t -> unit
 
 val delegated_ops : 'a t -> int
 val local_ops : 'a t -> int
+
+val batch_flushes : 'a t -> int
+(** Number of batched messages published so far; [delegated_ops /
+    batch_flushes] is the achieved coalescing factor. Always 0 with
+    [batch = 1] (the unbatched path does not count). *)
 
 (** {1 Watchdog and self-healing report} *)
 

@@ -23,8 +23,10 @@ type t = {
   finish : unit -> unit;  (** call when the client stops issuing *)
   populate : keys:int array -> val_lines:int -> unit;  (** cold pre-load *)
   client_hw : int -> int;  (** where to pin client [i] *)
-  idle : (unit -> unit) option;
-      (** bounded background duty for an idle client (DPS ring draining) *)
+  idle : (unit -> int) option;
+      (** bounded background duty for an idle client (DPS ring draining);
+          returns the number of operations served so the caller can tell a
+          useful round from an empty one *)
 }
 
 let shared_core sched ~recency ~buckets ~capacity =
@@ -87,11 +89,11 @@ let ffwd_mc sched ~nclients ~buckets ~capacity =
     idle = None;
   }
 
-let dps_generic sched ~name ~recency ~get_mode ?(self_healing = false) ~nclients
-    ~locality_size ~buckets ~capacity () =
+let dps_generic sched ~name ~recency ~get_mode ?(self_healing = false) ?(batch = 1)
+    ?(batch_age = 1500) ~nclients ~locality_size ~buckets ~capacity () =
   let nparts = (nclients + locality_size - 1) / locality_size in
   let dps =
-    Dps.create sched ~nclients ~locality_size ~self_healing
+    Dps.create sched ~nclients ~locality_size ~self_healing ~batch ~batch_age
       ~hash:(fun k -> k)
       ~mk_data:(fun (info : Dps.partition_info) ->
         Mc_core.create info.Dps.alloc
@@ -128,13 +130,21 @@ let dps_generic sched ~name ~recency ~get_mode ?(self_healing = false) ~nclients
             Mc_core.set core ~key ~val_lines)
           keys);
     client_hw = (fun i -> Dps.client_hw dps i);
-    idle = Some (fun () -> ignore (Dps.serve dps ~max:16));
+    idle =
+      Some
+        (fun () ->
+          (* flush this poller's own staged delegations before serving:
+             an idle event loop must not sit on a partial batch *)
+          Dps.flush_pending dps;
+          Dps.serve dps ~max:16);
   }
 
-let dps_mc sched ?self_healing ~nclients ~locality_size ~buckets ~capacity () =
+let dps_mc sched ?self_healing ?batch ?batch_age ~nclients ~locality_size ~buckets ~capacity
+    () =
   dps_generic sched ~name:"dps" ~recency:Mc_core.Lru_list ~get_mode:`Delegate ?self_healing
-    ~nclients ~locality_size ~buckets ~capacity ()
+    ?batch ?batch_age ~nclients ~locality_size ~buckets ~capacity ()
 
-let dps_parsec sched ?self_healing ~nclients ~locality_size ~buckets ~capacity () =
+let dps_parsec sched ?self_healing ?batch ?batch_age ~nclients ~locality_size ~buckets
+    ~capacity () =
   dps_generic sched ~name:"dps-parsec" ~recency:Mc_core.Clock ~get_mode:`Local ?self_healing
-    ~nclients ~locality_size ~buckets ~capacity ()
+    ?batch ?batch_age ~nclients ~locality_size ~buckets ~capacity ()

@@ -10,12 +10,14 @@ type t = {
   finish : unit -> unit;  (** call when the client stops issuing *)
   populate : keys:int array -> val_lines:int -> unit;  (** cold pre-load *)
   client_hw : int -> int;  (** where to pin client [i] *)
-  idle : (unit -> unit) option;
+  idle : (unit -> int) option;
       (** background duty for an idle client, if the variant has one: DPS
           clients must keep draining delegation rings even when they have
           no requests of their own (an event-loop poller otherwise blocks
-          with peers' operations queued on its partition). Bounded work per
-          call; callers alternate it with timed blocking. *)
+          with peers' operations queued on its partition), and must flush
+          any staged request batch of their own. Bounded work per call;
+          returns the number of operations served so callers can adapt
+          their polling (spin while busy, park when repeatedly empty). *)
 }
 
 val stock :
@@ -34,6 +36,8 @@ val ffwd_mc :
 val dps_mc :
   Dps_sthread.Sthread.t ->
   ?self_healing:bool ->
+  ?batch:int ->
+  ?batch_age:int ->
   nclients:int ->
   locality_size:int ->
   buckets:int ->
@@ -42,11 +46,15 @@ val dps_mc :
   t
 (** Hash, LRU and slab all partitioned with DPS; sets delegated
     asynchronously, gets synchronously. [self_healing] (default false)
-    arms the fault-tolerant delegation paths of {!Dps.create}. *)
+    arms the fault-tolerant delegation paths of {!Dps.create}; [batch] and
+    [batch_age] (defaults 1 and 1500) pass through to {!Dps.create}'s
+    request coalescing. *)
 
 val dps_parsec :
   Dps_sthread.Sthread.t ->
   ?self_healing:bool ->
+  ?batch:int ->
+  ?batch_age:int ->
   nclients:int ->
   locality_size:int ->
   buckets:int ->

@@ -182,10 +182,16 @@ let rec deliver_pkt t c data =
       Sthread.at t.sched ~time:when_ (fun () ->
           c.rx_pending <- c.rx_pending - String.length data;
           if c.state = Open then begin
+            (* edge-triggered: fire the readiness callback only on the
+               empty-to-nonempty transition. Consumers that leave bytes
+               behind re-arm themselves (the server re-enqueues while
+               [recv_ready] > 0), so a level-triggered storm of wakeups
+               per packet is pure overhead. *)
+            let was_empty = Byteq.length c.rx = 0 in
             Byteq.push c.rx data;
             t.st.pkts_rx <- t.st.pkts_rx + 1;
             t.st.bytes_rx <- t.st.bytes_rx + String.length data;
-            notify_readable c
+            if was_empty then notify_readable c
           end)
     end
   end

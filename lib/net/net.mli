@@ -79,8 +79,11 @@ val close : t -> conn -> unit
 
 val set_on_readable : conn -> (unit -> unit) -> unit
 (** Install the server-side readiness callback, fired (as a bare event)
-    whenever delivered bytes make the connection readable. Use it to queue
-    the connection and {!Sthread.unpark} its poller. *)
+    edge-triggered: only when delivered bytes turn an *empty* receive
+    buffer readable. A consumer that leaves bytes buffered must re-arm
+    itself (re-queue the connection while {!recv_ready} is positive) — it
+    will not be notified again for packets landing on a non-empty buffer.
+    Use it to queue the connection and {!Sthread.unpark} its poller. *)
 
 val recv : t -> conn -> max:int -> string
 (** Consume up to [max] buffered request bytes, charging the calling

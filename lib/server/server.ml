@@ -1,4 +1,5 @@
 module Sthread = Dps_sthread.Sthread
+module Simops = Dps_sthread.Simops
 module Machine = Dps_machine.Machine
 module Topology = Dps_machine.Topology
 module Net = Dps_net.Net
@@ -12,6 +13,8 @@ type config = {
   recv_chunk : int;
   val_lines : int;
   poll_interval : int;
+  spin_rounds : int;
+  park_max : int;
 }
 
 let default_config =
@@ -22,6 +25,8 @@ let default_config =
     recv_chunk = 2048;
     val_lines = 2;
     poll_interval = 2000;
+    spin_rounds = 4;
+    park_max = 16_000;
   }
 
 type stats = {
@@ -151,23 +156,44 @@ let service t p sc =
 let poller_body t p () =
   p.tid <- Sthread.self_id ();
   t.backend.Variants.attach p.idx;
+  (* consecutive empty idle rounds; reset by any served request or any
+     background serving the backend's idle duty reports *)
+  let streak = ref 0 in
   while not t.stopping do
     match Queue.take_opt p.ready with
     | Some sc ->
         sc.queued <- false;
+        streak := 0;
         service t p sc
     | None -> (
-        t.st.parks <- t.st.parks + 1;
         (* A DPS poller cannot block unconditionally: peers' delegated
            operations queue on its partition ring whether or not it has
-           connections of its own, so it alternates bounded background
-           serving with a timed park — epoll_wait with a timeout. *)
+           connections of its own, so it adapts — spin (brief charged
+           work) while traffic was recent, then park with a timeout that
+           backs off while everything stays quiet, serving the ring
+           around each park. *)
         match t.backend.Variants.idle with
-        | None -> Sthread.park ()
+        | None ->
+            t.st.parks <- t.st.parks + 1;
+            Sthread.park ()
         | Some idle ->
-            idle ();
-            ignore (Sthread.park_for t.cfg.poll_interval);
-            idle ())
+            let served = idle () in
+            if served > 0 then streak := 0
+            else begin
+              incr streak;
+              if !streak <= t.cfg.spin_rounds then Simops.work 256
+              else begin
+                t.st.parks <- t.st.parks + 1;
+                let backoff =
+                  t.cfg.poll_interval lsl min 3 (!streak - t.cfg.spin_rounds - 1)
+                in
+                ignore (Sthread.park_for (min t.cfg.park_max backoff));
+                (* serve the ring immediately on wake-up, before the
+                   connection queue gets its turn: peers' delegations
+                   aged a full park interval already *)
+                if idle () > 0 then streak := 0
+              end
+            end)
   done;
   t.backend.Variants.finish ()
 

@@ -29,15 +29,25 @@ type config = {
   recv_chunk : int;  (** max bytes drained per {!Net.recv} call *)
   val_lines : int;  (** cache lines per value payload served on a hit *)
   poll_interval : int;
-      (** timed-park interval for backends with an [idle] duty (DPS): an
-          idle poller drains its delegation ring, parks for at most this
+      (** base timed-park interval for backends with an [idle] duty (DPS):
+          an idle poller drains its delegation ring, parks for at most this
           many cycles, and repeats — a blocked poller must not starve
           peers delegating into its partition *)
+  spin_rounds : int;
+      (** adaptive polling: a poller whose idle duty served nothing spins
+          this many brief rounds (cheap wake-up when traffic resumes
+          immediately) before it starts parking *)
+  park_max : int;
+      (** ceiling on the park timeout: past the spin rounds the timeout
+          doubles from [poll_interval] each consecutive empty round, capped
+          here, so a long-idle poller neither burns cycles nor sleeps
+          through a ring that fills up *)
 }
 
 val default_config : config
 (** 40 pollers, 1024 connections, 16-request batches, 2 KB recv chunks,
-    2-line (128 B) values, 2000-cycle poll interval. *)
+    2-line (128 B) values; adaptive polling spins 4 rounds then parks
+    2000 cycles doubling up to 16000. *)
 
 type stats = {
   mutable conns : int;
@@ -49,7 +59,7 @@ type stats = {
   mutable dels : int;
   mutable bad_requests : int;  (** malformed frames answered CLIENT_ERROR *)
   mutable batches : int;  (** batched response writes *)
-  mutable parks : int;  (** poller blocking episodes *)
+  mutable parks : int;  (** poller blocking episodes (spin rounds excluded) *)
 }
 
 type t

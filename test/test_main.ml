@@ -17,4 +17,5 @@ let () =
       ("btree", Test_btree.suite);
       ("net", Test_net.suite);
       ("check", Test_check.suite);
+      ("batch", Test_batch.suite);
     ]
