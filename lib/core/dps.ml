@@ -4,6 +4,9 @@ module Sthread = Dps_sthread.Sthread
 module Simops = Dps_sthread.Simops
 module Alloc = Dps_sthread.Alloc
 module Spinlock = Dps_sync.Spinlock
+module Obs = Dps_obs.Obs
+
+let obs_span = Sthread.obs_span
 
 type partition_info = { pid : int; node : int; alloc : Alloc.t }
 
@@ -72,6 +75,10 @@ and remote = {
       (* re-route and re-send the same operation into this same record;
          used after partition failover or a crashed server. Recomputes the
          namespace lookup, so a retargeted bucket lands on its new owner. *)
+  mutable obs_id : int;
+      (* async trace-span id following this delegation across threads
+         (issue -> sent -> dispatch -> completion pickup); 0 when tracing
+         was off at issue, and cleared once the completion is observed *)
 }
 
 (* Hierarchical aggregation (the batching analogue of the paper's §4.2
@@ -90,6 +97,14 @@ and stage = {
 }
 
 type completion = Local of int | Remote of remote
+
+(* Close a delegation's async span exactly once, at the observation that
+   hands the completion value back to the caller. *)
+let obs_op_done (r : remote) =
+  if r.obs_id <> 0 then begin
+    Obs.async_end ~id:r.obs_id ~now:(Sthread.time ()) "dps.op";
+    r.obs_id <- 0
+  end
 
 (* A ring of messages for one (client, partition) pair, allocated on the
    partition's NUMA node. The client owns [send_idx], the serving peer owns
@@ -428,52 +443,57 @@ let serve_slots t ~pid ring ~budget =
     else begin
       let n = slot.count in
       slot.claim <- self;
-      for i = 0 to n - 1 do
-        let e = slot.entries.(i) in
-        match e.eop with
-        | Some op when e.ecell = None ->
-            (* fire-and-forget: no awaiter could ever re-issue this, so
-               keep the descriptor armed until the operation has run — a
-               takeover of this slot after we crash mid-dispatch re-runs
-               it. Safe against double dispatch because only a dead
-               claimer's slot can be re-claimed. *)
-            Simops.work t.dispatch_cost;
-            e.eret <- op ();
-            e.edone <- true;
-            e.eop <- None;
-            incr served
-        | Some op ->
-            (* awaited: disarm before dispatching, so an escalating
-               awaiter that still sees the descriptor can cancel and
-               re-issue without racing our execution *)
-            e.eop <- None;
-            (* request unmarshalling and dispatch, per operation *)
-            Simops.work t.dispatch_cost;
-            e.eret <- op ();
-            e.edone <- true;
-            incr served
-        | None -> ()
-      done;
-      (* one releasing store acks the whole batch: fill every completion
-         cell, clear the toggle, then a single line transfer *)
-      for i = 0 to n - 1 do
-        let e = slot.entries.(i) in
-        (match e.ecell with
-        | Some r ->
-            r.state <- (if e.edone then Done e.eret else Lost);
-            r.fresh <- Some slot
-        | None -> ());
-        e.ecell <- None;
-        e.ecancelled <- false
-      done;
-      slot.claim <- -1;
-      slot.toggle <- false;
-      if !failpoint_skip_completion_fence then Simops.write slot.maddr
-      else Simops.write_release slot.maddr;
-      ring.recv_idx <- ring.recv_idx + 1;
-      ring.last_served <- Sthread.time ();
-      t.last_served.(pid) <- ring.last_served;
-      t.pending.(pid) <- t.pending.(pid) - n
+      obs_span ~args:[ ("count", Obs.A_int n) ] "dps.dispatch" (fun () ->
+          for i = 0 to n - 1 do
+            let e = slot.entries.(i) in
+            match e.eop with
+            | Some op when e.ecell = None ->
+                (* fire-and-forget: no awaiter could ever re-issue this, so
+                   keep the descriptor armed until the operation has run — a
+                   takeover of this slot after we crash mid-dispatch re-runs
+                   it. Safe against double dispatch because only a dead
+                   claimer's slot can be re-claimed. *)
+                Simops.work t.dispatch_cost;
+                e.eret <- op ();
+                e.edone <- true;
+                e.eop <- None;
+                incr served
+            | Some op ->
+                (* awaited: disarm before dispatching, so an escalating
+                   awaiter that still sees the descriptor can cancel and
+                   re-issue without racing our execution *)
+                e.eop <- None;
+                (match e.ecell with
+                | Some r when r.obs_id <> 0 ->
+                    Obs.async_step ~id:r.obs_id ~now:(Sthread.time ()) "dispatch"
+                | _ -> ());
+                (* request unmarshalling and dispatch, per operation *)
+                Simops.work t.dispatch_cost;
+                e.eret <- op ();
+                e.edone <- true;
+                incr served
+            | None -> ()
+          done;
+          (* one releasing store acks the whole batch: fill every completion
+             cell, clear the toggle, then a single line transfer *)
+          for i = 0 to n - 1 do
+            let e = slot.entries.(i) in
+            (match e.ecell with
+            | Some r ->
+                r.state <- (if e.edone then Done e.eret else Lost);
+                r.fresh <- Some slot
+            | None -> ());
+            e.ecell <- None;
+            e.ecancelled <- false
+          done;
+          slot.claim <- -1;
+          slot.toggle <- false;
+          if !failpoint_skip_completion_fence then Simops.write slot.maddr
+          else Simops.write_release slot.maddr;
+          ring.recv_idx <- ring.recv_idx + 1;
+          ring.last_served <- Sthread.time ();
+          t.last_served.(pid) <- ring.last_served;
+          t.pending.(pid) <- t.pending.(pid) - n)
     end
   done;
   !served
@@ -498,6 +518,7 @@ let serve_ring t ~pid ring ~budget =
    whole dead locality) still makes progress. Ring locks abandoned by
    crashed holders are broken and reclaimed. *)
 let takeover_serve t pid =
+  obs_span ~args:[ ("pid", Obs.A_int pid) ] "dps.takeover" (fun () ->
   let p = t.partitions.(pid) in
   let patience = max 512 (t.await_timeout / 16) in
   let served = ref 0 in
@@ -522,14 +543,15 @@ let takeover_serve t pid =
           end)
     p.rings;
   if !served > 0 then t.n_takeovers <- t.n_takeovers + 1;
-  !served
+  !served)
 
 let run_local t pid op =
   t.n_local <- t.n_local + 1;
-  (* the runtime still interposes on local operations (§5.2 notes the
-     overhead this causes for small update ratios) *)
-  Simops.work (t.dispatch_cost / 4);
-  op t.partitions.(pid).data
+  obs_span "dps.local" (fun () ->
+      (* the runtime still interposes on local operations (§5.2 notes the
+         overhead this causes for small update ratios) *)
+      Simops.work (t.dispatch_cost / 4);
+      op t.partitions.(pid).data)
 
 (* Claim a free slot in this client's ring to [pid], serving own duties
    while the ring is full. Under self-healing, a ring stuck full past the
@@ -566,43 +588,45 @@ let rec claim_slot t cl pid =
    mutant instead of corrupting state, which is the bug we want the
    accounting oracle to catch). *)
 and flush_stage t cl stage =
-  if stage.sn > 0 then begin
-    cl.flushing <- true;
-    let pid = stage.spid in
-    let n0 = stage.sn in
-    let n =
-      if !failpoint_drop_batch_flush && n0 > 1 && stage.scells.(n0 - 1) = None then n0 - 1
-      else n0
-    in
-    let slot = claim_slot t cl pid in
-    (* gather the staged descriptors for the group copy *)
-    Simops.charge_read stage.saddr;
-    for i = 0 to n - 1 do
-      let e = slot.entries.(i) in
-      e.eop <- stage.sops.(i);
-      e.eret <- 0;
-      e.edone <- false;
-      e.ecancelled <- false;
-      e.ecell <- stage.scells.(i);
-      match stage.scells.(i) with
-      | Some r ->
-          r.state <- Flushed (slot, i);
-          r.pid <- pid
-      | None -> ()
-    done;
-    for i = 0 to n0 - 1 do
-      stage.sops.(i) <- None;
-      stage.scells.(i) <- None
-    done;
-    stage.sn <- 0;
-    slot.count <- n;
-    slot.toggle <- true;
-    Simops.write_release slot.maddr;
-    t.n_delegated <- t.n_delegated + n;
-    t.n_flushes <- t.n_flushes + 1;
-    t.pending.(pid) <- t.pending.(pid) + n;
-    cl.flushing <- false
-  end
+  if stage.sn > 0 then
+    obs_span ~args:[ ("n", Obs.A_int stage.sn) ] "dps.flush" (fun () ->
+        cl.flushing <- true;
+        let pid = stage.spid in
+        let n0 = stage.sn in
+        let n =
+          if !failpoint_drop_batch_flush && n0 > 1 && stage.scells.(n0 - 1) = None then n0 - 1
+          else n0
+        in
+        let slot = claim_slot t cl pid in
+        (* gather the staged descriptors for the group copy *)
+        Simops.charge_read stage.saddr;
+        for i = 0 to n - 1 do
+          let e = slot.entries.(i) in
+          e.eop <- stage.sops.(i);
+          e.eret <- 0;
+          e.edone <- false;
+          e.ecancelled <- false;
+          e.ecell <- stage.scells.(i);
+          match stage.scells.(i) with
+          | Some r ->
+              r.state <- Flushed (slot, i);
+              r.pid <- pid;
+              if r.obs_id <> 0 then
+                Obs.async_step ~id:r.obs_id ~now:(Sthread.time ()) "sent"
+          | None -> ()
+        done;
+        for i = 0 to n0 - 1 do
+          stage.sops.(i) <- None;
+          stage.scells.(i) <- None
+        done;
+        stage.sn <- 0;
+        slot.count <- n;
+        slot.toggle <- true;
+        Simops.write_release slot.maddr;
+        t.n_delegated <- t.n_delegated + n;
+        t.n_flushes <- t.n_flushes + 1;
+        t.pending.(pid) <- t.pending.(pid) + n;
+        cl.flushing <- false)
 
 (* Flush every staged batch whose oldest operation is older than
    [batch_age] — the bound that keeps coalescing from turning into
@@ -656,7 +680,8 @@ let send_direct t cl pid fop cell =
   (match cell with
   | Some r ->
       r.state <- Flushed (slot, 0);
-      r.pid <- pid
+      r.pid <- pid;
+      if r.obs_id <> 0 then Obs.async_step ~id:r.obs_id ~now:(Sthread.time ()) "sent"
   | None -> ());
   slot.count <- 1;
   slot.toggle <- true;
@@ -684,14 +709,22 @@ let stage_op t cl pid fop cell =
     flush_stage t cl stage
 
 let issue t cl pid fop cell =
-  if t.batch > 1 then stage_op t cl pid fop cell else send_direct t cl pid fop cell
+  obs_span "dps.issue" (fun () ->
+      if t.batch > 1 then stage_op t cl pid fop cell else send_direct t cl pid fop cell)
 
 (* Build the completion record for a remote operation and issue it.
    [route] recomputes the target partition on re-issue (a failed-over
    bucket lands on its new owner); the record re-binds itself in place, so
    every handle to it observes the retry. *)
 let remote_issue t op ~pid0 ~route =
-  let r = { state = Lost; pid = pid0; fresh = None; reissue = (fun () -> ()) } in
+  let r =
+    { state = Lost; pid = pid0; fresh = None; reissue = (fun () -> ()); obs_id = Obs.next_id () }
+  in
+  if r.obs_id <> 0 then
+    Obs.async_begin ~id:r.obs_id
+      ~now:(Sthread.time ())
+      ~args:[ ("pid", Obs.A_int pid0) ]
+      "dps.op";
   let go pid =
     r.pid <- pid;
     let cl = me t in
@@ -753,16 +786,25 @@ let try_await t completion =
             Simops.read s.maddr
         | None -> ()
       in
+      let reissue () =
+        t.n_retries <- t.n_retries + 1;
+        if r.obs_id <> 0 then Obs.async_step ~id:r.obs_id ~now:(Sthread.time ()) "reissue";
+        r.reissue ()
+      in
       match r.state with
       | Done v ->
           pickup ();
+          obs_op_done r;
           Some v
       | Lost ->
           (* the server crashed with our operation: re-route and re-send *)
           pickup ();
-          t.n_retries <- t.n_retries + 1;
-          r.reissue ();
-          (match r.state with Done v -> Some v | _ -> None)
+          reissue ();
+          (match r.state with
+          | Done v ->
+              obs_op_done r;
+              Some v
+          | _ -> None)
       | Staged stage ->
           (* our own unflushed batch: force it out, then keep waiting *)
           flush_stage t (me t) stage;
@@ -771,11 +813,16 @@ let try_await t completion =
           Simops.read slot.maddr;
           r.fresh <- None;
           match r.state with
-          | Done v -> Some v
+          | Done v ->
+              obs_op_done r;
+              Some v
           | Lost ->
-              t.n_retries <- t.n_retries + 1;
-              r.reissue ();
-              (match r.state with Done v -> Some v | _ -> None)
+              reissue ();
+              (match r.state with
+              | Done v ->
+                  obs_op_done r;
+                  Some v
+              | _ -> None)
           | _ ->
               ignore (serve t ~max:t.check_budget);
               None))
@@ -791,6 +838,7 @@ let await t completion =
       let deadline = ref (if t.self_healing then Sthread.time () + t.await_timeout else max_int) in
       let reissue_now () =
         t.n_retries <- t.n_retries + 1;
+        if r.obs_id <> 0 then Obs.async_step ~id:r.obs_id ~now:(Sthread.time ()) "reissue";
         r.reissue ();
         deadline := Sthread.time () + t.await_timeout;
         pause := 32
@@ -808,6 +856,7 @@ let await t completion =
         match r.state with
         | Done v ->
             pickup ();
+            obs_op_done r;
             v
         | Lost ->
             pickup ();
@@ -824,7 +873,9 @@ let await t completion =
         Simops.read slot.maddr;
         r.fresh <- None;
         match r.state with
-        | Done v -> v
+        | Done v ->
+            obs_op_done r;
+            v
         | Lost ->
             reissue_now ();
             spin ()
@@ -851,7 +902,7 @@ let await t completion =
               poll slot i
             end
       in
-      spin ()
+      obs_span "dps.await" spin
 
 let call t ~key op = await t (execute t ~key op)
 
@@ -926,17 +977,22 @@ let run_poller t ~pid =
   (match p.rings.(0).rlock with
   | Some _ -> ()
   | None -> failwith "Dps: create with ~dedicated_pollers:true to run pollers");
-  let idle_rounds = ref 0 in
-  while t.remaining > 0 do
-    let served = ref 0 in
-    Array.iter (fun ring -> served := !served + serve_ring t ~pid ring ~budget:max_int) p.rings;
-    if !served > 0 then idle_rounds := 0
-    else begin
-      incr idle_rounds;
-      if !idle_rounds <= 4 then Simops.work 128
-      else ignore (Sthread.park_for (min 8192 (128 lsl min 6 (!idle_rounds - 4))))
-    end
-  done
+  if Obs.tracing_on () then
+    Obs.thread_name ~tid:(Sthread.self_id ()) (Printf.sprintf "dps-poller p%d" pid);
+  obs_span ~args:[ ("pid", Obs.A_int pid) ] "dps.poll" (fun () ->
+      let idle_rounds = ref 0 in
+      while t.remaining > 0 do
+        let served = ref 0 in
+        Array.iter
+          (fun ring -> served := !served + serve_ring t ~pid ring ~budget:max_int)
+          p.rings;
+        if !served > 0 then idle_rounds := 0
+        else begin
+          incr idle_rounds;
+          if !idle_rounds <= 4 then Simops.work 128
+          else ignore (Sthread.park_for (min 8192 (128 lsl min 6 (!idle_rounds - 4))))
+        end
+      done)
 
 (* Dynamic repartitioning (the paper assumes static partitioning and notes
    the dynamic variant is possible; S3.3). Moving a bucket is two phases:
@@ -947,6 +1003,11 @@ let run_poller t ~pid =
 let rebalance t ~bucket ~to_ ~extract ~insert =
   assert (bucket >= 0 && bucket < Array.length t.ns_table);
   assert (to_ >= 0 && to_ < npartitions t);
+  if Obs.tracing_on () then
+    Obs.instant ~tid:(Sthread.self_id ())
+      ~now:(Sthread.time ())
+      ~args:[ ("bucket", Obs.A_int bucket); ("to", Obs.A_int to_) ]
+      "dps.rebalance";
   Simops.charge_read (t.ns_base + (bucket / 8));
   let from = t.ns_table.(bucket) in
   if from <> to_ then begin
@@ -993,3 +1054,35 @@ let drain t =
   while serve_as t cl ~max:max_int > 0 do
     ()
   done
+
+let register_obs t reg =
+  let module R = Dps_obs.Registry in
+  let g name help f = R.gauge_fn reg ~help ("dps." ^ name) f in
+  g "delegated_ops" "operations sent to a remote partition" (fun () ->
+      float_of_int t.n_delegated);
+  g "local_ops" "operations run on the caller's own partition" (fun () ->
+      float_of_int t.n_local);
+  g "batch_flushes" "staged batches published to a ring" (fun () -> float_of_int t.n_flushes);
+  g "takeovers" "foreign serves of a stuck partition's rings" (fun () ->
+      float_of_int t.n_takeovers);
+  g "adoptions" "serving shares handed to a live peer" (fun () -> float_of_int t.n_adoptions);
+  g "retries" "operations re-issued after loss" (fun () -> float_of_int t.n_retries);
+  g "failovers" "partitions retired and retargeted" (fun () -> float_of_int t.n_failovers);
+  g "crashes" "clients that vanished without client_done" (fun () ->
+      float_of_int t.n_crashes);
+  g "lock_breaks" "ring locks reclaimed from dead holders" (fun () ->
+      float_of_int t.n_lock_breaks);
+  Array.iter
+    (fun p ->
+      let pid = p.info.pid in
+      let labels =
+        [ ("partition", string_of_int pid); ("socket", string_of_int p.info.node) ]
+      in
+      R.gauge_fn reg ~labels ~help:"delegations queued, unserved" "dps.pending_depth"
+        (fun () -> float_of_int t.pending.(pid));
+      R.gauge_fn reg ~labels ~help:"cycles since this partition last served"
+        "dps.time_since_served" (fun () ->
+          float_of_int (Sthread.now t.sched - t.last_served.(pid)));
+      R.gauge_fn reg ~labels ~help:"1 when the partition has failed over" "dps.dead"
+        (fun () -> if t.dead.(pid) then 1.0 else 0.0))
+    t.partitions

@@ -236,3 +236,9 @@ val health : 'a t -> health
     Deterministic: the same seed and fault plan reproduce identical
     values. Callable from inside or outside the simulation; charges
     nothing. *)
+
+val register_obs : 'a t -> Dps_obs.Registry.t -> unit
+(** Publish the runtime's counters into an observability registry:
+    cumulative totals as [dps.<counter>] plus per-partition
+    [dps.pending_depth]/[dps.time_since_served]/[dps.dead] gauges
+    labelled with the partition id and its NUMA socket. *)

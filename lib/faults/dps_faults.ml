@@ -1,5 +1,6 @@
 module Sthread = Dps_sthread.Sthread
 module Prng = Dps_simcore.Prng
+module Obs = Dps_obs.Obs
 
 type spec = {
   crash_prob : float;
@@ -60,7 +61,7 @@ let due_event t ~tid ~now =
           Some ev
       | _ -> None)
 
-let decide t ~tid ~now ~tag ~cycles:_ =
+let decide_raw t ~tid ~now ~tag ~cycles:_ =
   match due_event t ~tid ~now with
   | Some Ev_crash ->
       record_crash t tid;
@@ -88,6 +89,15 @@ let decide t ~tid ~now ~tag ~cycles:_ =
             Some (Sthread.Stall (1 + Prng.int t.prng s.delay_cycles))
         | _ -> None
 
+let decide t ~tid ~now ~tag ~cycles =
+  let d = decide_raw t ~tid ~now ~tag ~cycles in
+  (if Obs.tracing_on () then
+     match d with
+     | Some Sthread.Crash -> Obs.instant ~tid ~now ~cat:"fault" "fault.crash"
+     | Some (Sthread.Stall n) -> Obs.complete ~tid ~now ~dur:n ~cat:"fault" "fault.stall"
+     | None -> ());
+  d
+
 let install sched ~seed spec =
   let t =
     {
@@ -106,6 +116,13 @@ let install sched ~seed spec =
   t
 
 let uninstall t = Sthread.set_fault_hook t.sched None
+
+let register_obs t reg =
+  let module R = Dps_obs.Registry in
+  let g name f = R.gauge_fn reg name (fun () -> float_of_int (f t)) in
+  g "fault.crashes" (fun t -> t.n_crashes);
+  g "fault.stalls" (fun t -> t.n_stalls);
+  g "fault.delays" (fun t -> t.n_delays)
 let crashes_injected t = t.n_crashes
 let stalls_injected t = t.n_stalls
 let delays_injected t = t.n_delays

@@ -69,3 +69,9 @@ val delays_injected : t -> int
 
 val crashed : t -> int list
 (** Simulated thread ids crashed by this plan, in injection order. *)
+
+val register_obs : t -> Dps_obs.Registry.t -> unit
+(** Publish the plan's injection counters ([fault.crashes],
+    [fault.stalls], [fault.delays]) as callback gauges. When tracing is
+    enabled, injected faults also appear on the trace timeline as
+    [fault.crash] instants and [fault.stall] intervals. *)

@@ -243,6 +243,7 @@ let access_slow t ~now ~core ~addr ~kind =
         Bitset.add line.sharers core;
         priv_insert t core addr;
         llc_insert t sock addr;
+        if bw > 0 && Dps_obs.Obs.profiling_on () then Dps_obs.Obs.note_stall bw;
         translation + bw + cost
       end
   | Write | Rmw ->
@@ -271,6 +272,8 @@ let access_slow t ~now ~core ~addr ~kind =
         let queue = max 0 (line.wbusy - now) in
         if queue > 0 then Stats.incr t.stats "write_queueing";
         line.wbusy <- max now line.wbusy + transfer;
+        if bw + queue > 0 && Dps_obs.Obs.profiling_on () then
+          Dps_obs.Obs.note_stall (bw + queue);
         translation + bw + queue + transfer
       end
 
@@ -301,3 +304,24 @@ let work_cost t ~thread n =
   | Some _ | None -> n
 
 let cycles_to_seconds t cycles = float_of_int cycles /. (t.cfg.topo.Topology.ghz *. 1e9)
+
+let register_obs t reg =
+  let counters =
+    [
+      "accesses";
+      "priv_hits";
+      "llc_hits";
+      "llc_misses";
+      "remote_misses";
+      "invalidations";
+      "tlb_misses";
+      "dram_queueing";
+      "write_queueing";
+    ]
+  in
+  List.iter
+    (fun name ->
+      Dps_obs.Registry.gauge_fn reg ~help:("machine model counter " ^ name)
+        ("machine." ^ name)
+        (fun () -> float_of_int (Stats.get t.stats name)))
+    counters

@@ -62,3 +62,7 @@ val stats : t -> Dps_simcore.Stats.t
     only), ["invalidations"]. *)
 
 val cycles_to_seconds : t -> int -> float
+
+val register_obs : t -> Dps_obs.Registry.t -> unit
+(** Publish the {!stats} counters as sampled gauges named
+    [machine.<counter>] in an observability registry. *)

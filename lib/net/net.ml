@@ -1,6 +1,11 @@
 module Sthread = Dps_sthread.Sthread
 module Machine = Dps_machine.Machine
 module Topology = Dps_machine.Topology
+module Obs = Dps_obs.Obs
+
+(* Trace row for a NIC: packets are event-context work with no simulated
+   thread, so they render on a per-socket pseudo-thread. *)
+let nic_tid socket = Obs.pseudo_tid ~kind:1 socket
 
 type config = {
   link_latency : int;
@@ -117,6 +122,12 @@ let create sched ?(config = default_config) () =
         accepted = 0;
       };
   }
+  |> fun t ->
+  if Obs.tracing_on () then
+    Array.iter
+      (fun nic -> Obs.thread_name ~tid:(nic_tid nic.socket) (Printf.sprintf "nic s%d" nic.socket))
+      t.nics;
+  t
 
 let sched t = t.sched
 let config t = t.cfg
@@ -191,6 +202,12 @@ let rec deliver_pkt t c data =
             Byteq.push c.rx data;
             t.st.pkts_rx <- t.st.pkts_rx + 1;
             t.st.bytes_rx <- t.st.bytes_rx + String.length data;
+            if Obs.tracing_on () then
+              Obs.instant
+                ~tid:(nic_tid c.nic.socket)
+                ~now:(Sthread.now t.sched) ~cat:"net"
+                ~args:[ ("conn", Obs.A_int c.id); ("bytes", Obs.A_int (String.length data)) ]
+                "net.rx_pkt";
             if was_empty then notify_readable c
           end)
     end
@@ -343,6 +360,31 @@ let reply t c data =
       let arrive = reserve_tx t c.nic ~lines:(lines_of_bytes n) in
       t.st.pkts_tx <- t.st.pkts_tx + 1;
       t.st.bytes_tx <- t.st.bytes_tx + n;
+      if Obs.tracing_on () then
+        Obs.instant
+          ~tid:(nic_tid c.nic.socket)
+          ~now:(Sthread.now t.sched) ~cat:"net"
+          ~args:[ ("conn", Obs.A_int c.id); ("bytes", Obs.A_int n) ]
+          "net.tx_pkt";
       Sthread.at t.sched ~time:arrive (fun () -> if c.state = Open then c.rx_cb chunk)
     done
   end
+
+let register_obs t reg =
+  let module R = Dps_obs.Registry in
+  let g name help f = R.gauge_fn reg ~help ("net." ^ name) f in
+  g "pkts_rx" "packets delivered to the server side" (fun () -> float_of_int t.st.pkts_rx);
+  g "pkts_tx" "response packets onto the tx links" (fun () -> float_of_int t.st.pkts_tx);
+  g "bytes_rx" "request bytes delivered" (fun () -> float_of_int t.st.bytes_rx);
+  g "bytes_tx" "response bytes sent" (fun () -> float_of_int t.st.bytes_tx);
+  g "dma_lines" "lines DMA'd through the directory" (fun () -> float_of_int t.st.dma_lines);
+  g "local_lines" "ring lines touched socket-locally" (fun () ->
+      float_of_int t.st.local_lines);
+  g "remote_lines" "ring lines touched cross-socket" (fun () ->
+      float_of_int t.st.remote_lines);
+  g "backpressured" "packets held at the NIC by the rx window" (fun () ->
+      float_of_int t.st.backpressured);
+  g "refused" "connections refused" (fun () -> float_of_int t.st.refused);
+  g "accepted" "connections accepted" (fun () -> float_of_int t.st.accepted);
+  g "local_fraction" "fraction of server ring traffic that stayed socket-local" (fun () ->
+      local_fraction t)

@@ -125,3 +125,7 @@ val stats : t -> stats
 val local_fraction : t -> float
 (** Fraction of server-side ring traffic that stayed socket-local; [1.0]
     when there has been none. *)
+
+val register_obs : t -> Dps_obs.Registry.t -> unit
+(** Publish the {!stats} counters (and {!local_fraction}) as sampled
+    gauges named [net.<counter>] in an observability registry. *)

@@ -1,0 +1,264 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Bad of string * int
+
+let fail msg pos = raise (Bad (msg, pos))
+
+let parse_exn s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance ()
+    else fail (Printf.sprintf "expected %C" c) !pos
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ word) !pos
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape" !pos;
+    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    pos := !pos + 4;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string" !pos;
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (if !pos >= n then fail "unterminated escape" !pos;
+           let c = s.[!pos] in
+           advance ();
+           match c with
+           | '"' -> Buffer.add_char b '"'
+           | '\\' -> Buffer.add_char b '\\'
+           | '/' -> Buffer.add_char b '/'
+           | 'b' -> Buffer.add_char b '\b'
+           | 'f' -> Buffer.add_char b '\012'
+           | 'n' -> Buffer.add_char b '\n'
+           | 'r' -> Buffer.add_char b '\r'
+           | 't' -> Buffer.add_char b '\t'
+           | 'u' ->
+               (* decode as UTF-8; surrogate pairs are rejoined *)
+               let u = hex4 () in
+               let u =
+                 if u >= 0xD800 && u <= 0xDBFF then begin
+                   if
+                     !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+                   then begin
+                     pos := !pos + 2;
+                     let lo = hex4 () in
+                     if lo < 0xDC00 || lo > 0xDFFF then fail "bad surrogate pair" !pos;
+                     0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00)
+                   end
+                   else fail "lone high surrogate" !pos
+                 end
+                 else u
+               in
+               if u < 0x80 then Buffer.add_char b (Char.chr u)
+               else if u < 0x800 then begin
+                 Buffer.add_char b (Char.chr (0xC0 lor (u lsr 6)));
+                 Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+               end
+               else if u < 0x10000 then begin
+                 Buffer.add_char b (Char.chr (0xE0 lor (u lsr 12)));
+                 Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+                 Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+               end
+               else begin
+                 Buffer.add_char b (Char.chr (0xF0 lor (u lsr 18)));
+                 Buffer.add_char b (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+                 Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+                 Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+               end
+           | _ -> fail "bad escape" (!pos - 1));
+          go ()
+      | c ->
+          advance ();
+          Buffer.add_char b c;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && numchar s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected number" !pos;
+    let text = String.sub s start (!pos - start) in
+    (* strict JSON: no leading zeros ("01"), no bare "+", no leading "." —
+       float_of_string accepts all three *)
+    let digits = if String.length text > 0 && text.[0] = '-' then String.sub text 1 (String.length text - 1) else text in
+    if String.length digits = 0 || not (digits.[0] >= '0' && digits.[0] <= '9') then
+      fail "malformed number" start;
+    if
+      String.length digits > 1
+      && digits.[0] = '0'
+      && digits.[1] >= '0'
+      && digits.[1] <= '9'
+    then fail "malformed number" start;
+    match float_of_string_opt text with
+    | Some f -> f
+    | None -> fail "malformed number" start
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input" !pos
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let members = ref [] in
+          let rec go () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            members := (k, v) :: !members;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                go ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'" !pos
+          in
+          go ();
+          Obj (List.rev !members)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec go () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                go ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'" !pos
+          in
+          go ();
+          List (List.rev !items)
+        end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage" !pos;
+  v
+
+let parse s =
+  match parse_exn s with
+  | v -> Ok v
+  | exception Bad (msg, pos) -> Error (Printf.sprintf "%s at byte %d" msg pos)
+
+let parse_exn s =
+  match parse_exn s with
+  | v -> v
+  | exception Bad (msg, pos) -> failwith (Printf.sprintf "Json.parse: %s at byte %d" msg pos)
+
+let escape_into b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let to_string v =
+  let b = Buffer.create 256 in
+  let rec go v =
+    match v with
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Num f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Buffer.add_string b (Printf.sprintf "%.0f" f)
+        else Buffer.add_string b (Printf.sprintf "%.6g" f)
+    | Str s ->
+        Buffer.add_char b '"';
+        escape_into b s;
+        Buffer.add_char b '"'
+    | List items ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char b ',';
+            go v)
+          items;
+        Buffer.add_char b ']'
+    | Obj members ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '"';
+            escape_into b k;
+            Buffer.add_string b "\":";
+            go v)
+          members;
+        Buffer.add_char b '}'
+  in
+  go v;
+  Buffer.contents b
+
+let member k v = match v with Obj ms -> List.assoc_opt k ms | _ -> None
+let to_float v = match v with Num f -> Some f | _ -> None
+let to_str v = match v with Str s -> Some s | _ -> None
+let to_list v = match v with List l -> Some l | _ -> None

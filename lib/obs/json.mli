@@ -1,0 +1,32 @@
+(** Minimal JSON values, parser and printer.
+
+    The repository deliberately avoids external JSON dependencies; this
+    module is just enough for the observability layer's needs: parsing
+    [BENCH_*.json] bench output for {!Regress}, and validating the Chrome
+    trace files {!Obs.write_chrome} emits. Numbers are [float]s (the only
+    numeric type JSON has); object member order is preserved. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document. Trailing garbage after the top-level
+    value is an error. Error strings carry a byte offset. *)
+
+val parse_exn : string -> t
+(** @raise Failure on malformed input. *)
+
+val to_string : t -> string
+(** Compact (no-whitespace) serialization with full string escaping. *)
+
+val member : string -> t -> t option
+(** Object member lookup; [None] on missing key or non-object. *)
+
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,128 @@
+type record = {
+  section : string;
+  series : string;
+  x : string;
+  metrics : (string * float) list;
+}
+
+let records_of_json j =
+  match Json.to_list j with
+  | None -> Error "expected a top-level JSON array of records"
+  | Some items ->
+      let bad = ref None in
+      let recs =
+        List.filter_map
+          (fun item ->
+            match item with
+            | Json.Obj members ->
+                let str k =
+                  match List.assoc_opt k members with Some (Json.Str s) -> Some s | _ -> None
+                in
+                let section = Option.value ~default:"" (str "section") in
+                let series =
+                  match str "series" with
+                  | Some s -> s
+                  | None ->
+                      if !bad = None then bad := Some "record missing \"series\"";
+                      ""
+                in
+                let x =
+                  match List.assoc_opt "x" members with
+                  | Some (Json.Str s) -> s
+                  | Some (Json.Num f) -> Printf.sprintf "%g" f
+                  | _ -> ""
+                in
+                let metrics =
+                  List.filter_map
+                    (fun (k, v) ->
+                      match v with
+                      | Json.Num f when k <> "x" -> Some (k, f)
+                      | _ -> None)
+                    members
+                in
+                Some { section; series; x; metrics }
+            | _ ->
+                if !bad = None then bad := Some "non-object record in bench array";
+                None)
+          items
+      in
+      (match !bad with Some msg -> Error msg | None -> Ok recs)
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> (
+      match Json.parse contents with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok j -> (
+          match records_of_json j with
+          | Error e -> Error (Printf.sprintf "%s: %s" path e)
+          | Ok r -> Ok r))
+  | exception Sys_error e -> Error e
+
+type verdict = { compared : int; failures : string list; warnings : string list }
+
+let key r =
+  Printf.sprintf "%s/%s@x=%s" r.section r.series (if r.x = "" then "-" else r.x)
+
+let compare ~tolerance ~baseline ~fresh =
+  let failures = ref [] and warnings = ref [] and compared = ref 0 in
+  let fail msg = failures := msg :: !failures in
+  let warn msg = warnings := msg :: !warnings in
+  let index recs =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun r -> Hashtbl.replace tbl (key r) r) recs;
+    tbl
+  in
+  let b_idx = index baseline and f_idx = index fresh in
+  List.iter
+    (fun b ->
+      match Hashtbl.find_opt f_idx (key b) with
+      | None -> fail (Printf.sprintf "determinism mismatch: %s missing from fresh run" (key b))
+      | Some f ->
+          incr compared;
+          List.iter
+            (fun (metric, bv) ->
+              match List.assoc_opt metric f.metrics with
+              | None ->
+                  fail
+                    (Printf.sprintf "determinism mismatch: %s lost metric %s" (key b) metric)
+              | Some fv ->
+                  let rel =
+                    if bv = 0.0 then if fv = 0.0 then 0.0 else Float.infinity
+                    else (fv -. bv) /. Float.abs bv
+                  in
+                  if metric = "throughput_mops" then begin
+                    if rel < -.tolerance then
+                      fail
+                        (Printf.sprintf
+                           "throughput regression: %s %s %.4f -> %.4f (%.1f%%)" (key b)
+                           metric bv fv (100.0 *. rel))
+                    else if rel > tolerance then
+                      warn
+                        (Printf.sprintf
+                           "throughput improved: %s %.4f -> %.4f (%+.1f%%); refresh baseline"
+                           (key b) bv fv (100.0 *. rel))
+                  end
+                  else if bv <> fv then
+                    warn
+                      (Printf.sprintf "drift: %s %s %.6g -> %.6g (%+.2f%%)" (key b) metric bv
+                         fv (100.0 *. rel)))
+            b.metrics)
+    baseline;
+  List.iter
+    (fun f ->
+      if not (Hashtbl.mem b_idx (key f)) then
+        fail (Printf.sprintf "determinism mismatch: %s absent from baseline" (key f)))
+    fresh;
+  { compared = !compared; failures = List.rev !failures; warnings = List.rev !warnings }
+
+let report ppf ~name ~tolerance v =
+  Format.fprintf ppf "## %s@." name;
+  Format.fprintf ppf "- points compared: %d (tolerance %.0f%%)@." v.compared
+    (100.0 *. tolerance);
+  if v.failures = [] && v.warnings = [] then Format.fprintf ppf "- OK: bit-identical@."
+  else begin
+    List.iter (fun f -> Format.fprintf ppf "- FAIL: %s@." f) v.failures;
+    List.iter (fun w -> Format.fprintf ppf "- warn: %s@." w) v.warnings
+  end;
+  Format.fprintf ppf "@."

@@ -1,0 +1,42 @@
+(** Bench perf-regression comparison: the policy behind [bin/bench_diff].
+
+    Bench figures emit flat JSON record arrays ([BENCH_<name>.json]):
+    each record an object with string fields [section], [series] and [x],
+    and one or more numeric metrics ([throughput_mops], [p99], ...). The simulator is deterministic, so on an unchanged tree
+    a fresh run reproduces the committed baseline {e exactly}; drift is
+    always caused by a code change.
+
+    Gating policy (per compared file):
+    - a {b point-set mismatch} — a (section, series, x) present in the
+      baseline but not fresh, or vice versa — is a determinism/coverage
+      failure and hard-fails;
+    - a [throughput_mops] {b drop} beyond [tolerance] (relative)
+      hard-fails;
+    - a throughput {b rise} beyond tolerance and any drift in other
+      metrics are reported as warnings: intentional improvements must
+      refresh the committed baseline to become the new gate. *)
+
+type record = {
+  section : string;
+  series : string;
+  x : string;  (** the plotted x value, verbatim; [""] when absent *)
+  metrics : (string * float) list;
+}
+
+val records_of_json : Json.t -> (record list, string) result
+(** Parse a bench JSON array. Records missing [section] or [series] are
+    an error. *)
+
+val load_file : string -> (record list, string) result
+
+type verdict = {
+  compared : int;  (** matched (section, series, x) points *)
+  failures : string list;
+  warnings : string list;
+}
+
+val compare : tolerance:float -> baseline:record list -> fresh:record list -> verdict
+
+val report :
+  Format.formatter -> name:string -> tolerance:float -> verdict -> unit
+(** Markdown fragment for one compared bench file. *)

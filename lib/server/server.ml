@@ -5,6 +5,9 @@ module Topology = Dps_machine.Topology
 module Net = Dps_net.Net
 module Wire = Dps_net.Wire
 module Variants = Dps_memcached.Variants
+module Obs = Dps_obs.Obs
+
+let obs_span = Sthread.obs_span
 
 type config = {
   npollers : int;
@@ -127,24 +130,28 @@ let handle t sc req =
 (* One service round for a readable connection: drain bytes, serve up to
    [batch_limit] requests, write the batched response. *)
 let service t p sc =
-  let data = Net.recv t.net sc.c ~max:t.cfg.recv_chunk in
+  obs_span ~args:[ ("conn", Obs.A_int (Net.conn_id sc.c)) ] "srv.service" @@ fun () ->
+  let data = obs_span "srv.rx" (fun () -> Net.recv t.net sc.c ~max:t.cfg.recv_chunk) in
   Wire.feed sc.dec data;
   let served = ref 0 in
   let parsing = ref true in
   while !parsing && !served < t.cfg.batch_limit do
-    match Wire.next_request sc.dec with
+    match obs_span "srv.parse" (fun () -> Wire.next_request sc.dec) with
     | Wire.Need_more -> parsing := false
     | Wire.Bad msg ->
         t.st.bad_requests <- t.st.bad_requests + 1;
         Wire.encode_response sc.out (Wire.Client_error msg);
         incr served
     | Wire.Item req ->
-        handle t sc req;
+        obs_span "srv.serve" (fun () -> handle t sc req);
         incr served
   done;
   if Buffer.length sc.out > 0 then begin
     t.st.batches <- t.st.batches + 1;
-    Net.reply t.net sc.c (Buffer.contents sc.out);
+    obs_span
+      ~args:[ ("bytes", Obs.A_int (Buffer.length sc.out)) ]
+      "srv.tx"
+      (fun () -> Net.reply t.net sc.c (Buffer.contents sc.out));
     Buffer.clear sc.out
   end;
   (* More buffered bytes, or a full batch with frames still in the decoder:
@@ -155,6 +162,8 @@ let service t p sc =
 
 let poller_body t p () =
   p.tid <- Sthread.self_id ();
+  if Obs.tracing_on () then
+    Obs.thread_name ~tid:p.tid (Printf.sprintf "srv-poller %d (s%d)" p.idx p.socket);
   t.backend.Variants.attach p.idx;
   (* consecutive empty idle rounds; reset by any served request or any
      background serving the backend's idle duty reports *)
@@ -177,7 +186,7 @@ let poller_body t p () =
             t.st.parks <- t.st.parks + 1;
             Sthread.park ()
         | Some idle ->
-            let served = idle () in
+            let served = obs_span "srv.poll" idle in
             if served > 0 then streak := 0
             else begin
               incr streak;
@@ -191,7 +200,7 @@ let poller_body t p () =
                 (* serve the ring immediately on wake-up, before the
                    connection queue gets its turn: peers' delegations
                    aged a full park interval already *)
-                if idle () > 0 then streak := 0
+                if obs_span "srv.poll" idle > 0 then streak := 0
               end
             end)
   done;
@@ -199,6 +208,7 @@ let poller_body t p () =
 
 let acceptor_body t () =
   t.acceptor_tid <- Sthread.self_id ();
+  if Obs.tracing_on () then Obs.thread_name ~tid:t.acceptor_tid "srv-acceptor";
   let continue = ref true in
   while !continue do
     match Net.accept t.net with
@@ -279,3 +289,17 @@ let stop t =
     Net.unlisten t.net;
     Array.iter (fun p -> wake_poller t p) t.pollers
   end
+
+let register_obs t reg =
+  let module R = Dps_obs.Registry in
+  let g name f = R.gauge_fn reg name (fun () -> float_of_int (f t.st)) in
+  g "srv.conns" (fun s -> s.conns);
+  g "srv.requests" (fun s -> s.requests);
+  g "srv.gets" (fun s -> s.gets);
+  g "srv.lookups" (fun s -> s.lookups);
+  g "srv.hits" (fun s -> s.hits);
+  g "srv.sets" (fun s -> s.sets);
+  g "srv.dels" (fun s -> s.dels);
+  g "srv.bad_requests" (fun s -> s.bad_requests);
+  g "srv.batches" (fun s -> s.batches);
+  g "srv.parks" (fun s -> s.parks)

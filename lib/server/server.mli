@@ -75,3 +75,7 @@ val stop : t -> unit
     this drains in-flight delegations), and exit. *)
 
 val stats : t -> stats
+
+val register_obs : t -> Dps_obs.Registry.t -> unit
+(** Publish the server's stats record as [srv.<counter>] callback gauges
+    in an observability registry. *)

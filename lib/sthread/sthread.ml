@@ -1,6 +1,7 @@
 module Heap = Dps_simcore.Heap
 module Prng = Dps_simcore.Prng
 module Machine = Dps_machine.Machine
+module Obs = Dps_obs.Obs
 
 exception Killed
 
@@ -252,6 +253,20 @@ let self_id () = (snd (ctx ())).tid
 let self_prng () = (snd (ctx ())).prng
 let time () = (fst (ctx ())).time
 
+(* Observability span around [f]: host-side only, balanced under kills
+   (the scheduler discontinues with [Killed], so the finalizer runs). *)
+let obs_span ?args name f =
+  if Obs.on () then begin
+    let t, state = ctx () in
+    Obs.span_begin ~tid:state.tid ~now:t.time ?args name;
+    Fun.protect
+      ~finally:(fun () ->
+        let t, state = ctx () in
+        Obs.span_end ~tid:state.tid ~now:t.time)
+      f
+  end
+  else f ()
+
 (* Any suspending operation first drains charges accumulated by
    [charge_read], so batched traversal costs land before the operation. *)
 let take_pending state =
@@ -262,6 +277,7 @@ let take_pending state =
 let work n =
   let t, state = ctx () in
   let cost = Machine.work_cost t.m ~thread:state.hw n in
+  if Obs.on () then Obs.charged ~tid:state.tid ~hw:state.hw ~cycles:cost ~cls:`Work;
   suspend (cost + take_pending state)
 
 (* Trace-event timing must match when the operation's effect is visible to
@@ -274,7 +290,10 @@ let work n =
    releaser's store event lands, losing the happens-before edge. *)
 let access ~cls kind addr =
   let t, state = ctx () in
+  let obs = Obs.on () in
+  if obs then Obs.clear_stall ();
   let cost = Machine.access t.m ~now:t.time ~thread:state.hw ~addr ~kind in
+  if obs then Obs.charged ~tid:state.tid ~hw:state.hw ~cycles:cost ~cls:`Mem;
   let store = match cls with Store | Release_store -> true | _ -> false in
   if store then emit t (T_access { tid = state.tid; cls; addr });
   suspend_tagged (Access_op (kind, addr)) (cost + take_pending state);
@@ -289,7 +308,11 @@ let rmw addr = access ~cls:Atomic Machine.Rmw addr
 let access_pipelined ~factor ~kind addr =
   assert (factor >= 1);
   let t, state = ctx () in
+  let obs = Obs.on () in
+  if obs then Obs.clear_stall ();
   let cost = Machine.access t.m ~now:t.time ~thread:state.hw ~addr ~kind in
+  if obs then
+    Obs.charged ~tid:state.tid ~hw:state.hw ~cycles:(max 1 (cost / factor)) ~cls:`Mem;
   let cls =
     match kind with Machine.Read -> Load | Machine.Write -> Store | Machine.Rmw -> Atomic
   in
@@ -299,8 +322,11 @@ let access_pipelined ~factor ~kind addr =
 
 let charge_read_cls cls addr =
   let t, state = ctx () in
-  state.pending <-
-    state.pending + Machine.access t.m ~now:t.time ~thread:state.hw ~addr ~kind:Machine.Read;
+  let obs = Obs.on () in
+  if obs then Obs.clear_stall ();
+  let cost = Machine.access t.m ~now:t.time ~thread:state.hw ~addr ~kind:Machine.Read in
+  if obs then Obs.charged ~tid:state.tid ~hw:state.hw ~cycles:cost ~cls:`Mem;
+  state.pending <- state.pending + cost;
   emit t (T_access { tid = state.tid; cls; addr })
 
 let charge_read addr = charge_read_cls Load addr
@@ -332,7 +358,9 @@ let park () =
   let p = take_pending state in
   if p > 0 then suspend p;
   state.park_gen <- state.park_gen + 1;
+  if Obs.on () then Obs.park_begin ~tid:state.tid ~now:t.time;
   Effect.perform Park;
+  if Obs.on () then Obs.park_end ~tid:state.tid ~now:t.time;
   emit t (T_wake { tid = state.tid })
 
 let park_for d =
@@ -351,7 +379,9 @@ let park_for d =
         state.timed_out <- true;
         ignore (unpark t ~tid:state.tid)
       end);
+  if Obs.on () then Obs.park_begin ~tid:state.tid ~now:t.time;
   Effect.perform Park;
+  if Obs.on () then Obs.park_end ~tid:state.tid ~now:t.time;
   emit t (T_wake { tid = state.tid });
   state.timed_out
 

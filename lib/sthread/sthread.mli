@@ -123,6 +123,13 @@ val self_prng : unit -> Dps_simcore.Prng.t
 
 val time : unit -> int
 
+val obs_span : ?args:(string * Dps_obs.Obs.arg) list -> string -> (unit -> 'a) -> 'a
+(** Run [f] inside an observability span named [name] on the calling
+    simulated thread (see {!Dps_obs.Obs}). Pure host-side bookkeeping: no
+    charged access, no scheduling point, a single branch when
+    observability is disabled — enabling it never perturbs the
+    simulation. The span is closed even when [f] is unwound by a kill. *)
+
 val work : int -> unit
 (** Spend [n] compute cycles (dilated if the hyperthread sibling is active). *)
 

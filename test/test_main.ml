@@ -18,4 +18,5 @@ let () =
       ("net", Test_net.suite);
       ("check", Test_check.suite);
       ("batch", Test_batch.suite);
+      ("obs", Test_obs.suite);
     ]
