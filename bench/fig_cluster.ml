@@ -1,0 +1,310 @@
+(** The cluster figure: sharded multi-node serving with failover, driven
+    by a declarative stress-scenario matrix. Each scenario is a data
+    record — fleet shape, key pattern, fault plan — plus a set of gates
+    (p99 bound, goodput floor, exactly-once, kill-recovery). The matrix
+    covers the failure modes the cluster layer exists for: incast onto one
+    shard, all-to-all fan-out, a whole-node kill mid-run, a connection
+    churn storm and hot-key skew. Every stage checks the exactly-once
+    ledger ({!Dps_check.Eo}): no acked set may be lost or double-applied
+    by the retry/failover machinery. *)
+
+open Bench_common
+module Machine = Dps_machine.Machine
+module Sthread = Dps_sthread.Sthread
+module Netload = Dps_workload.Netload
+module Cluster = Dps_cluster.Cluster
+module Ring = Dps_cluster.Ring
+module Eo = Dps_check.Eo
+
+let items = if quick then 4096 else 16384
+
+(* --- the scenario matrix, as data --- *)
+
+type gates = {
+  g_max_p99 : int;  (* cycles; 0 = ungated *)
+  g_min_goodput : float;  (* Mops/s; 0 = ungated *)
+  g_exactly_once : bool;  (* no lost-acked / double-applied ops *)
+  g_recovery_pct : float;  (* post-kill goodput floor vs pre-kill; 0 = ungated *)
+  g_reroute_cycles : int;  (* kill -> declared-dead bound; 0 = ungated *)
+}
+
+let gates ?(max_p99 = 0) ?(min_goodput = 0.0) ?(exactly_once = true)
+    ?(recovery_pct = 0.0) ?(reroute_cycles = 0) () =
+  {
+    g_max_p99 = max_p99;
+    g_min_goodput = min_goodput;
+    g_exactly_once = exactly_once;
+    g_recovery_pct = recovery_pct;
+    g_reroute_cycles = reroute_cycles;
+  }
+
+type scenario = {
+  sname : string;
+  sdesc : string;
+  nnodes : int;
+  nclients : int;
+  nconns : int;  (* per node *)
+  set_pct : int;
+  zipfian : bool;  (* hot-key skew (Zipf theta 0.99) vs uniform *)
+  incast : bool;  (* restrict keys to node 0's shard *)
+  kill_frac : float;  (* kill node 1 at this fraction of the run; 0 = none *)
+  churn : int;  (* churn interval, cycles; 0 = none *)
+  sduration : int;
+  sgates : gates;
+}
+
+let scen ?(nnodes = 4) ?(nclients = 512) ?(nconns = 16) ?(set_pct = 10)
+    ?(zipfian = false) ?(incast = false) ?(kill_frac = 0.0) ?(churn = 0)
+    ?(duration = default_duration) ~gates:sgates ~desc:sdesc sname =
+  {
+    sname;
+    sdesc;
+    nnodes;
+    nclients;
+    nconns;
+    set_pct;
+    zipfian;
+    incast;
+    kill_frac;
+    churn;
+    sduration = duration;
+    sgates;
+  }
+
+let kill_duration = if quick then 240_000 else 600_000
+
+(* Gate calibration: bounds are ~2x the measured steady-state values of
+   the seed run, so they catch regressions (queueing collapse, broken
+   rerouting) without tripping on scheduler noise. *)
+let matrix =
+  [
+    scen "baseline"
+      ~desc:"1:1 — balanced fleet, uniform keys, 4 shards"
+      ~gates:(gates ~max_p99:200_000 ~min_goodput:10.0 ());
+    scen "incast"
+      ~desc:"N:1 — every client keyed onto node 0's shard"
+      ~incast:true
+      ~gates:(gates ~max_p99:400_000 ~min_goodput:2.0 ());
+    scen "all-to-all"
+      ~desc:"every client pool fans out over every shard"
+      ~nclients:(if quick then 1024 else 2048)
+      ~nconns:32
+      ~gates:(gates ~max_p99:500_000 ~min_goodput:15.0 ());
+    (* moderate load: the recovery gate measures rerouting, not the raw
+       capacity loss of 4 -> 3 nodes, so the fleet must not saturate *)
+    scen "node-kill"
+      ~desc:"node 1 crashes mid-run; ring replays, fleet reroutes"
+      ~nclients:256 ~kill_frac:0.4 ~duration:kill_duration
+      ~gates:
+        (gates ~max_p99:0 ~min_goodput:5.0 ~recovery_pct:90.0
+           ~reroute_cycles:(2 * Cluster.default_config.Cluster.probe_interval + 40_000)
+           ());
+    scen "churn-storm"
+      ~desc:"connections recycled continuously under load"
+      ~churn:(if quick then 2_000 else 1_000)
+      ~gates:(gates ~max_p99:350_000 ~min_goodput:8.0 ());
+    scen "hot-key"
+      ~desc:"Zipf 0.99 skew — one shard owns the hot keys"
+      ~zipfian:true
+      ~gates:(gates ~max_p99:200_000 ~min_goodput:10.0 ());
+  ]
+
+(* --- running one scenario --- *)
+
+type outcome = {
+  s : scenario;
+  rr : Netload.routed_result;
+  verdict : Eo.verdict;
+  kill_at : int;  (* -1 when no kill *)
+  declared_at : int;  (* -1 when no failover happened *)
+  pre_goodput : float;  (* mean completions/window before the kill *)
+  post_goodput : float;  (* mean completions/window at the tail of the run *)
+  failures : string list;
+}
+
+let run_scenario (s : scenario) =
+  let m = Machine.create scaled_config in
+  let sched = Sthread.create m in
+  let eo = Eo.create () in
+  let ccfg =
+    {
+      Cluster.default_config with
+      Cluster.nnodes = s.nnodes;
+      buckets = items;
+      capacity = 2 * items;
+    }
+  in
+  let cluster =
+    Cluster.create sched
+      ~on_set_applied:(fun ~node ~tag -> if tag <> 0 then Eo.apply eo ~opid:tag ~node)
+      ccfg
+  in
+  Cluster.populate cluster ~keys:(Array.init items Fun.id) ~val_lines:2;
+  Cluster.start_probe cluster;
+  let kill_at =
+    if s.kill_frac > 0.0 then begin
+      let at = int_of_float (float_of_int s.sduration *. s.kill_frac) in
+      let faults = Dps_faults.install sched ~seed:7L (Dps_faults.spec ()) in
+      Cluster.schedule_kill cluster faults ~node:1 ~at;
+      at
+    end
+    else -1
+  in
+  let key_pool =
+    if s.incast then
+      Some
+        (Array.of_seq
+           (Seq.filter
+              (fun k -> Ring.lookup (Cluster.ring cluster) k = 0)
+              (Seq.init items Fun.id)))
+    else None
+  in
+  let base =
+    Netload.spec ~nclients:s.nclients ~nconns:s.nconns ~set_pct:s.set_pct
+      ~key_range:items ~zipfian:s.zipfian ()
+  in
+  let rs =
+    Netload.rspec ~base ?key_pool ~churn_interval:s.churn
+      ~on_acked:(fun ~opid ~node -> Eo.ack eo ~opid ~node)
+      ()
+  in
+  let rr =
+    Netload.run_routed sched (Cluster.router cluster) rs ~duration:s.sduration
+      ~stop:(fun () -> Cluster.stop cluster)
+      ()
+  in
+  let verdict = Eo.check eo ~node_dead:(Cluster.node_dead cluster) in
+  let declared_at =
+    match Cluster.failover_log cluster with (_, t) :: _ -> t | [] -> -1
+  in
+  (* goodput recovery: mean completions/window over the windows fully
+     before the kill vs the last quarter of the run (post-reroute). *)
+  let tl = rr.Netload.goodput_timeline in
+  let w = rr.Netload.window_cycles in
+  let mean lo hi =
+    if hi <= lo then 0.0
+    else begin
+      let s = ref 0 in
+      for i = lo to hi - 1 do
+        s := !s + tl.(i)
+      done;
+      float_of_int !s /. float_of_int (hi - lo)
+    end
+  in
+  (* only full windows inside the issue horizon: the trailing +1 window
+     holds drain-grace completions and would understate the tail *)
+  let nfull = min (Array.length tl) (s.sduration / w) in
+  let pre, post =
+    if kill_at < 0 then (0.0, 0.0)
+    else
+      let kw = min (nfull - 1) (kill_at / w) in
+      (mean 0 kw, mean (nfull - (nfull / 4)) nfull)
+  in
+  let g = s.sgates in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun msg -> failures := msg :: !failures) fmt in
+  if g.g_max_p99 > 0 && rr.Netload.agg.Netload.p99 > g.g_max_p99 then
+    fail "p99 %d > %d" rr.Netload.agg.Netload.p99 g.g_max_p99;
+  if
+    g.g_min_goodput > 0.0
+    && rr.Netload.agg.Netload.throughput_mops < g.g_min_goodput
+  then fail "goodput %.2f < %.2f Mops" rr.Netload.agg.Netload.throughput_mops g.g_min_goodput;
+  if g.g_exactly_once && not (Eo.ok verdict) then
+    fail "exactly-once violated: %d lost-acked, %d double-applied"
+      (List.length verdict.Eo.lost_acked)
+      (List.length verdict.Eo.double_applied);
+  if g.g_reroute_cycles > 0 then begin
+    if declared_at < 0 then fail "node kill never detected"
+    else if declared_at - kill_at > g.g_reroute_cycles then
+      fail "reroute took %d cycles > %d" (declared_at - kill_at) g.g_reroute_cycles
+  end;
+  if g.g_recovery_pct > 0.0 then begin
+    let pct = if pre > 0.0 then 100.0 *. post /. pre else 0.0 in
+    if pct < g.g_recovery_pct then
+      fail "goodput recovered to %.1f%% < %.1f%% of pre-kill" pct g.g_recovery_pct
+  end;
+  {
+    s;
+    rr;
+    verdict;
+    kill_at;
+    declared_at;
+    pre_goodput = pre;
+    post_goodput = post;
+    failures = List.rev !failures;
+  }
+
+(* --- reporting --- *)
+
+let record (o : outcome) =
+  let r = o.rr.Netload.agg in
+  json_record ~series:o.s.sname ~x:"result"
+    [
+      ("goodput_mops", r.Netload.throughput_mops);
+      ("p50", float_of_int r.Netload.p50);
+      ("p99", float_of_int r.Netload.p99);
+      ("p999", float_of_int r.Netload.p999);
+      ("issued", float_of_int r.Netload.issued);
+      ("completed", float_of_int r.Netload.completed);
+      ("retries", float_of_int o.rr.Netload.retries);
+      ("rerouted", float_of_int o.rr.Netload.rerouted);
+      ("busy", float_of_int o.rr.Netload.busy);
+      ("timeouts", float_of_int o.rr.Netload.timeouts);
+      ("dropped", float_of_int o.rr.Netload.dropped);
+      ("abandoned", float_of_int o.rr.Netload.abandoned);
+      ("churned", float_of_int o.rr.Netload.churned);
+      ("acked", float_of_int o.verdict.Eo.acked);
+      ("cache_lost", float_of_int o.verdict.Eo.cache_lost);
+      ("lost_acked", float_of_int (List.length o.verdict.Eo.lost_acked));
+      ("double_applied", float_of_int (List.length o.verdict.Eo.double_applied));
+      ("pass", if o.failures = [] then 1.0 else 0.0);
+    ];
+  (* the goodput-vs-kill-event figure: completions per window, with the
+     kill and declared-dead times in window units alongside *)
+  if o.kill_at >= 0 then begin
+    let w = o.rr.Netload.window_cycles in
+    Array.iteri
+      (fun i c ->
+        json_record
+          ~series:(o.s.sname ^ "/timeline")
+          ~x:(string_of_int i)
+          [
+            ("goodput", float_of_int c);
+            ("kill_window", float_of_int o.kill_at /. float_of_int w);
+            ("declared_window", float_of_int o.declared_at /. float_of_int w);
+          ])
+      o.rr.Netload.goodput_timeline
+  end
+
+let print_outcome (o : outcome) =
+  let r = o.rr.Netload.agg in
+  Printf.printf "%-11s %8.2f Mops  p99 %8d  retry %5d  reroute %4d  busy %5d  drop %3d  %s\n"
+    o.s.sname r.Netload.throughput_mops r.Netload.p99 o.rr.Netload.retries
+    o.rr.Netload.rerouted o.rr.Netload.busy o.rr.Netload.dropped
+    (if o.failures = [] then "PASS" else "FAIL");
+  if o.kill_at >= 0 then
+    Printf.printf "%-11s   kill@%d declared@%d (+%d cyc)  goodput/window %.1f -> %.1f\n" ""
+      o.kill_at o.declared_at
+      (if o.declared_at >= 0 then o.declared_at - o.kill_at else -1)
+      o.pre_goodput o.post_goodput;
+  Printf.printf "%-11s   exactly-once: %s\n" "" (Format.asprintf "%a" Eo.pp_verdict o.verdict);
+  List.iter (fun msg -> Printf.printf "%-11s   GATE: %s\n" "" msg) o.failures
+
+let all () =
+  print_header "Cluster: sharded serving with failover — stress-scenario matrix";
+  Printf.printf "%d nodes default, %d keys, scaled machine; quick=%b\n%!"
+    Cluster.default_config.Cluster.nnodes items quick;
+  let outcomes = List.map run_scenario matrix in
+  List.iter
+    (fun o ->
+      Printf.printf "-- %s: %s\n" o.s.sname o.s.sdesc;
+      record o;
+      print_outcome o)
+    outcomes;
+  let failed = List.filter (fun o -> o.failures <> []) outcomes in
+  if failed = [] then Printf.printf "CLUSTER MATRIX: ALL %d STAGES PASS\n%!" (List.length outcomes)
+  else begin
+    Printf.printf "CLUSTER MATRIX: %d/%d STAGES FAILED (%s)\n%!" (List.length failed)
+      (List.length outcomes)
+      (String.concat ", " (List.map (fun o -> o.s.sname) failed))
+  end

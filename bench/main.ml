@@ -31,6 +31,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("ablations", "DPS design-knob ablations", Fig_ablation.all);
     ("faults", "throughput under injected crashes/stalls", Fig_faults.all);
     ("batch", "request batching and adaptive polling on the DPS hot path", Fig_batch.all);
+    ("cluster", "sharded multi-node serving with failover (stress matrix)", Fig_cluster.all);
     ("profile", "cycle attribution and observability zero-perturbation", Fig_profile.all);
     ("bechamel", "Bechamel kernels (one per figure)", Bechamel_suite.run);
   ]

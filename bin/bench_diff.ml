@@ -44,6 +44,15 @@ let () =
     (fun name ->
       let file d = Filename.concat d (Printf.sprintf "BENCH_%s.json" name) in
       match (Regress.load_file (file !baseline_dir), Regress.load_file (file !fresh_dir)) with
+      | Error _, Ok _ when not (Sys.file_exists (file !baseline_dir)) ->
+          (* A brand-new figure has no committed baseline yet; that is a
+             bootstrap step, not a regression. *)
+          Format.fprintf ppf "## %s@.- warn: no committed baseline yet@.@." name;
+          Printf.printf
+            "[%s] warn: no committed baseline; commit this baseline:\n\
+            \  cp %s %s\n\
+             %!"
+            name (file !fresh_dir) (file !baseline_dir)
       | Error e, _ | _, Error e ->
           failed := true;
           Format.fprintf ppf "## %s@.- FAIL: %s@.@." name e;

@@ -38,7 +38,7 @@ let raw_connection () =
         let rec drain () =
           match Wire.next_response dec with
           | Wire.Need_more -> ()
-          | Wire.Bad msg -> Printf.printf "  client: unparsable response (%s)\n" msg
+          | Wire.Bad { msg; _ } -> Printf.printf "  client: unparsable response (%s)\n" msg
           | Wire.Item r ->
               (match r with
               | Wire.Values vs ->

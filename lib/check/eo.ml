@@ -1,0 +1,81 @@
+(** Exactly-once oracle for acked operations across cluster reroute.
+
+    Cluster clients tag every set with a unique operation id (carried in
+    the memcached [flags] field); the backend's apply hook records the
+    (opid, node) pair at the moment the write actually lands on a
+    partition, and the client records (opid, node) when the STORED ack
+    parses. This module is the pure ledger over those two event streams,
+    checked after the run against the set of nodes that died:
+
+    - an op acked by a node that stayed alive must have been applied
+      exactly once on a live node — anything else is a lost or
+      double-applied acknowledged write;
+    - an op acked by a node that later died is {e cache loss}, not a
+      protocol violation (memcached makes no durability promise), but it
+      still must not have more than one live apply;
+    - no op — acked or not — may apply more than once across live nodes:
+      the client retry policy only retransmits when the original cannot
+      have been applied by a surviving node (refused connection, busy
+      shed, or target already declared dead), so a live double-apply means
+      that policy was violated. *)
+
+type t = {
+  acks : (int, int) Hashtbl.t;  (* opid -> acking node *)
+  applies : (int, int list ref) Hashtbl.t;  (* opid -> applying nodes, latest first *)
+  mutable n_acks : int;
+  mutable n_applies : int;
+}
+
+let create () = { acks = Hashtbl.create 1024; applies = Hashtbl.create 1024; n_acks = 0; n_applies = 0 }
+
+let ack t ~opid ~node =
+  t.n_acks <- t.n_acks + 1;
+  Hashtbl.replace t.acks opid node
+
+let apply t ~opid ~node =
+  t.n_applies <- t.n_applies + 1;
+  match Hashtbl.find_opt t.applies opid with
+  | Some l -> l := node :: !l
+  | None -> Hashtbl.add t.applies opid (ref [ node ])
+
+type verdict = {
+  acked : int;
+  applied : int;  (** apply events, including those on nodes that died *)
+  cache_lost : int;  (** acked by a node that later died; exempt from the loss check *)
+  lost_acked : int list;  (** opids acked by a live node but applied on none *)
+  double_applied : int list;  (** opids applied more than once across live nodes *)
+}
+
+let ok v = v.lost_acked = [] && v.double_applied = []
+
+let check t ~node_dead =
+  let lost = ref [] and doubled = ref [] and cache_lost = ref 0 in
+  let live_applies opid =
+    match Hashtbl.find_opt t.applies opid with
+    | None -> 0
+    | Some l -> List.length (List.filter (fun n -> not (node_dead n)) !l)
+  in
+  Hashtbl.iter
+    (fun opid acker ->
+      let live = live_applies opid in
+      if node_dead acker then begin
+        if live = 0 then incr cache_lost
+      end
+      else if live = 0 then lost := opid :: !lost)
+    t.acks;
+  Hashtbl.iter
+    (fun opid l ->
+      if List.length (List.filter (fun n -> not (node_dead n)) !l) > 1 then
+        doubled := opid :: !doubled)
+    t.applies;
+  {
+    acked = Hashtbl.length t.acks;
+    applied = t.n_applies;
+    cache_lost = !cache_lost;
+    lost_acked = List.sort compare !lost;
+    double_applied = List.sort compare !doubled;
+  }
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "%d acked, %d applies, %d cache-lost, %d lost-acked, %d double-applied"
+    v.acked v.applied v.cache_lost (List.length v.lost_acked) (List.length v.double_applied)

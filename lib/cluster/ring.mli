@@ -1,0 +1,35 @@
+(** Consistent-hash ring with virtual nodes.
+
+    Each node contributes [vnodes] points on a hash circle; a key belongs
+    to the first point clockwise from its hash. Removing a dead node
+    deletes only its points, so exactly its keys remap — spread over the
+    survivors — while every other key keeps its owner. Hashing is a fixed
+    avalanche mixer with no seed: the layout is identical on every run,
+    which keeps cluster scenarios bit-for-bit replayable. *)
+
+type t
+
+val create : nnodes:int -> ?vnodes:int -> unit -> t
+(** Nodes [0 .. nnodes-1], [vnodes] (default 64) points each. *)
+
+val lookup : t -> int -> int
+(** The live node owning this key. *)
+
+val successor : t -> int -> int
+(** A deterministic representative of the nodes that inherit [node]'s
+    keys if it is removed — the retry target while the ring replay is
+    still pending. Returns [node] itself only when it is the sole live
+    node. *)
+
+val remove : t -> int -> unit
+(** Delete a node's points (idempotent). Raises [Invalid_argument] when
+    asked to remove the last live node. *)
+
+val nodes : t -> int list
+(** Live node ids, ascending. *)
+
+val size : t -> int
+val is_live : t -> int -> bool
+
+val hash_key : int -> int
+(** The key-side hash, exposed for tests. *)

@@ -148,6 +148,8 @@ type health = {
   failovers : int;  (** partitions retired and retargeted *)
   crashes : int;  (** clients that vanished without [client_done] *)
   lock_breaks : int;  (** ring locks reclaimed from dead holders *)
+  takeovers_by_partition : int array;
+  lock_breaks_by_partition : int array;
 }
 
 type 'a t = {
@@ -186,6 +188,8 @@ type 'a t = {
   mutable n_failovers : int;
   mutable n_crashes : int;
   mutable n_lock_breaks : int;
+  takeovers_pid : int array;  (* per partition: foreign serves of its rings *)
+  lock_breaks_pid : int array;  (* per partition: locks reclaimed from dead holders *)
 }
 
 let npartitions t = Array.length t.partitions
@@ -214,6 +218,8 @@ let health t =
     failovers = t.n_failovers;
     crashes = t.n_crashes;
     lock_breaks = t.n_lock_breaks;
+    takeovers_by_partition = Array.copy t.takeovers_pid;
+    lock_breaks_by_partition = Array.copy t.lock_breaks_pid;
   }
 
 (* Hand [cl]'s serving share to a peer of its locality, so an exiting or
@@ -295,13 +301,20 @@ let handle_exit t sid =
 
 let create sched ~nclients ~locality_size ~hash ?ns_sz ?(ring_slots = 16) ?(check_budget = 4)
     ?(marshal_cost = 100) ?(dispatch_cost = 250) ?(dedicated_pollers = false)
-    ?(self_healing = false) ?(await_timeout = 50_000) ?(batch = 1) ?(batch_age = 1500) ~mk_data
-    () =
+    ?(self_healing = false) ?(await_timeout = 50_000) ?(batch = 1) ?(batch_age = 1500)
+    ?placement ~mk_data () =
   assert (nclients > 0 && locality_size > 0);
   let batch = max 1 (min batch max_batch) in
   let m = Sthread.machine sched in
   let topo = Machine.topology m in
-  let placement = Topology.placement topo ~n:nclients in
+  let placement =
+    match placement with
+    | None -> Topology.placement topo ~n:nclients
+    | Some p ->
+        if Array.length p < nclients then
+          invalid_arg "Dps.create: placement shorter than nclients";
+        p
+  in
   let nparts = (nclients + locality_size - 1) / locality_size in
   let ns_sz = match ns_sz with Some n -> max n nparts | None -> 64 * nparts in
   let mk_partition pid =
@@ -377,6 +390,8 @@ let create sched ~nclients ~locality_size ~hash ?ns_sz ?(ring_slots = 16) ?(chec
       n_failovers = 0;
       n_crashes = 0;
       n_lock_breaks = 0;
+      takeovers_pid = Array.make nparts 0;
+      lock_breaks_pid = Array.make nparts 0;
     }
   in
   Sthread.on_exit sched (handle_exit t);
@@ -534,6 +549,7 @@ let takeover_serve t pid =
             | Some holder when holder >= 0 && Hashtbl.mem t.dead_tids holder ->
                 Spinlock.break_lock l;
                 t.n_lock_breaks <- t.n_lock_breaks + 1;
+                t.lock_breaks_pid.(pid) <- t.lock_breaks_pid.(pid) + 1;
                 Spinlock.try_acquire l
             | _ -> false
           in
@@ -542,7 +558,10 @@ let takeover_serve t pid =
             Spinlock.release l
           end)
     p.rings;
-  if !served > 0 then t.n_takeovers <- t.n_takeovers + 1;
+  if !served > 0 then begin
+    t.n_takeovers <- t.n_takeovers + 1;
+    t.takeovers_pid.(pid) <- t.takeovers_pid.(pid) + 1
+  end;
   !served)
 
 let run_local t pid op =
@@ -1055,9 +1074,9 @@ let drain t =
     ()
   done
 
-let register_obs t reg =
+let register_obs ?(labels = []) t reg =
   let module R = Dps_obs.Registry in
-  let g name help f = R.gauge_fn reg ~help ("dps." ^ name) f in
+  let g name help f = R.gauge_fn reg ~labels ~help ("dps." ^ name) f in
   g "delegated_ops" "operations sent to a remote partition" (fun () ->
       float_of_int t.n_delegated);
   g "local_ops" "operations run on the caller's own partition" (fun () ->
@@ -1076,7 +1095,8 @@ let register_obs t reg =
     (fun p ->
       let pid = p.info.pid in
       let labels =
-        [ ("partition", string_of_int pid); ("socket", string_of_int p.info.node) ]
+        labels
+        @ [ ("partition", string_of_int pid); ("socket", string_of_int p.info.node) ]
       in
       R.gauge_fn reg ~labels ~help:"delegations queued, unserved" "dps.pending_depth"
         (fun () -> float_of_int t.pending.(pid));
@@ -1084,5 +1104,9 @@ let register_obs t reg =
         "dps.time_since_served" (fun () ->
           float_of_int (Sthread.now t.sched - t.last_served.(pid)));
       R.gauge_fn reg ~labels ~help:"1 when the partition has failed over" "dps.dead"
-        (fun () -> if t.dead.(pid) then 1.0 else 0.0))
+        (fun () -> if t.dead.(pid) then 1.0 else 0.0);
+      R.gauge_fn reg ~labels ~help:"foreign serves of this partition's rings"
+        "dps.takeovers_p" (fun () -> float_of_int t.takeovers_pid.(pid));
+      R.gauge_fn reg ~labels ~help:"ring locks of this partition reclaimed from dead holders"
+        "dps.lock_breaks_p" (fun () -> float_of_int t.lock_breaks_pid.(pid)))
     t.partitions

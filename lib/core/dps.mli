@@ -48,6 +48,7 @@ val create :
   ?await_timeout:int ->
   ?batch:int ->
   ?batch_age:int ->
+  ?placement:int array ->
   mk_data:(partition_info -> 'a) ->
   unit ->
   'a t
@@ -228,6 +229,11 @@ type health = {
   failovers : int;  (** partitions retired and retargeted *)
   crashes : int;  (** clients that vanished without [client_done] *)
   lock_breaks : int;  (** ring locks reclaimed from dead holders *)
+  takeovers_by_partition : int array;
+      (** per partition: foreign serves of its rings (where the healing
+          landed, not who performed it) *)
+  lock_breaks_by_partition : int array;
+      (** per partition: ring locks reclaimed from dead holders *)
 }
 
 val health : 'a t -> health
@@ -237,8 +243,12 @@ val health : 'a t -> health
     values. Callable from inside or outside the simulation; charges
     nothing. *)
 
-val register_obs : 'a t -> Dps_obs.Registry.t -> unit
+val register_obs : ?labels:(string * string) list -> 'a t -> Dps_obs.Registry.t -> unit
 (** Publish the runtime's counters into an observability registry:
     cumulative totals as [dps.<counter>] plus per-partition
-    [dps.pending_depth]/[dps.time_since_served]/[dps.dead] gauges
-    labelled with the partition id and its NUMA socket. *)
+    [dps.pending_depth] / [dps.time_since_served] / [dps.dead] /
+    [dps.takeovers_p] / [dps.lock_breaks_p] gauges labelled
+    [{partition,socket}] — the same watchdog fields {!health} snapshots,
+    so the cluster health probe and exported metrics share one source of
+    truth. [labels] (e.g. [("node", "2")]) prefix every metric's label set
+    so several runtimes can share a registry. *)

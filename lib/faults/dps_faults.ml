@@ -46,6 +46,19 @@ let add_event t ~tid ~at ev =
 let schedule_crash t ~tid ~at = add_event t ~tid ~at Ev_crash
 let schedule_stall t ~tid ~at ~cycles = add_event t ~tid ~at (Ev_stall (max 1 cycles))
 
+(* Whole-node kill: the victim tids are resolved at fire time (threads may
+   not have run — hence have no tid — when the kill is planned), each gets
+   an immediately-due crash event, and parked victims are woken so they
+   reach a decision point instead of dying only at their next natural
+   wake-up. *)
+let schedule_kill t ~at ~tids =
+  Sthread.at t.sched ~time:at (fun () ->
+      List.iter
+        (fun tid ->
+          add_event t ~tid ~at Ev_crash;
+          ignore (Sthread.unpark t.sched ~tid))
+        (tids ()))
+
 let record_crash t tid =
   t.n_crashes <- t.n_crashes + 1;
   t.crashed_rev <- tid :: t.crashed_rev

@@ -57,6 +57,13 @@ val schedule_crash : t -> tid:int -> at:int -> unit
 (** Kill thread [tid] at its first scheduling point at or after simulated
     time [at]. Exact and deterministic regardless of the spec. *)
 
+val schedule_kill : t -> at:int -> tids:(unit -> int list) -> unit
+(** Whole-node kill: at time [at], crash every thread in [tids ()] —
+    resolved at fire time, so victims that acquire their tid only once
+    they first run (server pollers) can still be targeted at plan time.
+    Parked victims are woken so they die promptly rather than at their
+    next natural wake-up. Deterministic. *)
+
 val schedule_stall : t -> tid:int -> at:int -> cycles:int -> unit
 (** Stall thread [tid] by [cycles] at its first scheduling point at or
     after [at]. *)

@@ -19,6 +19,9 @@ type t = {
   attach : int -> unit;  (** call once per client thread, with its index *)
   get : int -> bool;
   set : key:int -> val_lines:int -> unit;
+  set_tagged : (key:int -> val_lines:int -> tag:int -> unit) option;
+      (** like [set] but carrying a client-chosen tag delivered to the
+          variant's [on_set_applied] hook when the write actually lands *)
   del : int -> bool;  (** delete; [true] if the key was present *)
   finish : unit -> unit;  (** call when the client stops issuing *)
   populate : keys:int array -> val_lines:int -> unit;  (** cold pre-load *)
@@ -27,6 +30,10 @@ type t = {
       (** bounded background duty for an idle client (DPS ring draining);
           returns the number of operations served so the caller can tell a
           useful round from an empty one *)
+  health : (unit -> Dps.health) option;
+      (** watchdog snapshot for variants with a self-healing runtime *)
+  register_obs : (labels:(string * string) list -> Dps_obs.Registry.t -> unit) option;
+      (** publish the backend runtime's metrics under instance [labels] *)
 }
 
 let shared_core sched ~recency ~buckets ~capacity =
@@ -46,12 +53,15 @@ let shared sched ~name ~recency ~nclients ~buckets ~capacity =
     attach = (fun _ -> ());
     get = (fun key -> Mc_core.get core key);
     set = (fun ~key ~val_lines -> Mc_core.set core ~key ~val_lines);
+    set_tagged = None;
     del = (fun key -> Mc_core.delete core key);
     finish = (fun () -> ());
     populate =
       (fun ~keys ~val_lines -> Array.iter (fun key -> Mc_core.set core ~key ~val_lines) keys);
     client_hw = default_placement sched nclients;
     idle = None;
+    health = None;
+    register_obs = None;
   }
 
 let stock sched ~nclients ~buckets ~capacity =
@@ -72,6 +82,7 @@ let ffwd_mc sched ~nclients ~buckets ~capacity =
   {
     name = "ffwd";
     attach = (fun c -> Dps_ffwd.Ffwd.attach f ~client:c);
+    set_tagged = None;
     get = (fun key -> Dps_ffwd.Ffwd.call f ~server:0 (fun () -> if Mc_core.get core key then 1 else 0) = 1);
     del =
       (fun key ->
@@ -87,13 +98,16 @@ let ffwd_mc sched ~nclients ~buckets ~capacity =
       (fun ~keys ~val_lines -> Array.iter (fun key -> Mc_core.set core ~key ~val_lines) keys);
     client_hw = (fun i -> placement.(1 + (i mod (nplaced - 1))) (* skip the server's slot *));
     idle = None;
+    health = None;
+    register_obs = None;
   }
 
 let dps_generic sched ~name ~recency ~get_mode ?(self_healing = false) ?(batch = 1)
-    ?(batch_age = 1500) ~nclients ~locality_size ~buckets ~capacity () =
+    ?(batch_age = 1500) ?placement ?on_set_applied ~nclients ~locality_size ~buckets
+    ~capacity () =
   let nparts = (nclients + locality_size - 1) / locality_size in
   let dps =
-    Dps.create sched ~nclients ~locality_size ~self_healing ~batch ~batch_age
+    Dps.create sched ~nclients ~locality_size ~self_healing ~batch ~batch_age ?placement
       ~hash:(fun k -> k)
       ~mk_data:(fun (info : Dps.partition_info) ->
         Mc_core.create info.Dps.alloc
@@ -101,6 +115,14 @@ let dps_generic sched ~name ~recency ~get_mode ?(self_healing = false) ?(batch =
           ~capacity:(max 1 (capacity / nparts))
           ~recency)
       ()
+  in
+  let do_set ~key ~val_lines ~tag =
+    Dps.execute_async dps ~key (fun core ->
+        Mc_core.set core ~key ~val_lines;
+        (* the hook fires when the write lands on the partition — under
+           delegation that is inside the serving thread, not the issuer *)
+        (match on_set_applied with Some f -> f tag | None -> ());
+        0)
   in
   {
     name;
@@ -113,11 +135,8 @@ let dps_generic sched ~name ~recency ~get_mode ?(self_healing = false) ?(batch =
         | `Local -> Dps.execute_local dps ~key op)
         = 1);
     del = (fun key -> Dps.call dps ~key (fun core -> if Mc_core.delete core key then 1 else 0) = 1);
-    set =
-      (fun ~key ~val_lines ->
-        Dps.execute_async dps ~key (fun core ->
-            Mc_core.set core ~key ~val_lines;
-            0));
+    set = (fun ~key ~val_lines -> do_set ~key ~val_lines ~tag:0);
+    set_tagged = Some do_set;
     finish =
       (fun () ->
         Dps.client_done dps;
@@ -137,14 +156,18 @@ let dps_generic sched ~name ~recency ~get_mode ?(self_healing = false) ?(batch =
              an idle event loop must not sit on a partial batch *)
           Dps.flush_pending dps;
           Dps.serve dps ~max:16);
+    health = Some (fun () -> Dps.health dps);
+    register_obs = Some (fun ~labels reg -> Dps.register_obs ~labels dps reg);
   }
 
-let dps_mc sched ?self_healing ?batch ?batch_age ~nclients ~locality_size ~buckets ~capacity
-    () =
+let dps_mc sched ?self_healing ?batch ?batch_age ?placement ?on_set_applied ~nclients
+    ~locality_size ~buckets ~capacity () =
   dps_generic sched ~name:"dps" ~recency:Mc_core.Lru_list ~get_mode:`Delegate ?self_healing
-    ?batch ?batch_age ~nclients ~locality_size ~buckets ~capacity ()
+    ?batch ?batch_age ?placement ?on_set_applied ~nclients ~locality_size ~buckets ~capacity
+    ()
 
-let dps_parsec sched ?self_healing ?batch ?batch_age ~nclients ~locality_size ~buckets
-    ~capacity () =
+let dps_parsec sched ?self_healing ?batch ?batch_age ?placement ?on_set_applied ~nclients
+    ~locality_size ~buckets ~capacity () =
   dps_generic sched ~name:"dps-parsec" ~recency:Mc_core.Clock ~get_mode:`Local ?self_healing
-    ?batch ?batch_age ~nclients ~locality_size ~buckets ~capacity ()
+    ?batch ?batch_age ?placement ?on_set_applied ~nclients ~locality_size ~buckets ~capacity
+    ()

@@ -6,6 +6,13 @@ type t = {
   attach : int -> unit;  (** call once per client thread, with its index *)
   get : int -> bool;
   set : key:int -> val_lines:int -> unit;
+  set_tagged : (key:int -> val_lines:int -> tag:int -> unit) option;
+      (** like [set] but carrying a client-chosen operation tag delivered
+          to the variant's [on_set_applied] hook at the moment the write
+          actually lands on the partition (under delegation: in the serving
+          thread, possibly long after the issuer was acked). [None] for
+          variants without apply tracking. Cluster mode uses this as the
+          exactly-once ledger's apply record. *)
   del : int -> bool;  (** delete; [true] if the key was present *)
   finish : unit -> unit;  (** call when the client stops issuing *)
   populate : keys:int array -> val_lines:int -> unit;  (** cold pre-load *)
@@ -18,6 +25,14 @@ type t = {
           any staged request batch of their own. Bounded work per call;
           returns the number of operations served so callers can adapt
           their polling (spin while busy, park when repeatedly empty). *)
+  health : (unit -> Dps.health) option;
+      (** watchdog snapshot for variants with a self-healing runtime (DPS):
+          the cluster health probe reads this to detect node death without
+          any gossip protocol *)
+  register_obs : (labels:(string * string) list -> Dps_obs.Registry.t -> unit) option;
+      (** publish the backend runtime's metrics (the [dps.*] family) under
+          instance [labels] such as [("node", "2")], so several backends
+          can share one registry without name collisions *)
 }
 
 val stock :
@@ -38,6 +53,8 @@ val dps_mc :
   ?self_healing:bool ->
   ?batch:int ->
   ?batch_age:int ->
+  ?placement:int array ->
+  ?on_set_applied:(int -> unit) ->
   nclients:int ->
   locality_size:int ->
   buckets:int ->
@@ -48,13 +65,18 @@ val dps_mc :
     asynchronously, gets synchronously. [self_healing] (default false)
     arms the fault-tolerant delegation paths of {!Dps.create}; [batch] and
     [batch_age] (defaults 1 and 1500) pass through to {!Dps.create}'s
-    request coalescing. *)
+    request coalescing. [placement] overrides the default whole-machine
+    client placement (cluster mode confines each node's backend to its own
+    socket); [on_set_applied] receives the [set_tagged] tag when the write
+    lands. *)
 
 val dps_parsec :
   Dps_sthread.Sthread.t ->
   ?self_healing:bool ->
   ?batch:int ->
   ?batch_age:int ->
+  ?placement:int array ->
+  ?on_set_applied:(int -> unit) ->
   nclients:int ->
   locality_size:int ->
   buckets:int ->

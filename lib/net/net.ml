@@ -302,8 +302,14 @@ let close _t c =
   if c.state = Open || c.state = Connecting then begin
     c.state <- Closed;
     Byteq.clear c.rx;
-    Queue.clear c.backlog
+    Queue.clear c.backlog;
+    (* nudge the serving side so it can observe the close and release the
+       connection's slot — without this a churny client leaks server
+       state on every disconnect *)
+    match c.on_readable with Some f -> f () | None -> ()
   end
+
+let is_closed c = c.state = Closed
 
 let set_on_readable c f = c.on_readable <- Some f
 let recv_ready c = Byteq.length c.rx
@@ -370,9 +376,9 @@ let reply t c data =
     done
   end
 
-let register_obs t reg =
+let register_obs ?(labels = []) t reg =
   let module R = Dps_obs.Registry in
-  let g name help f = R.gauge_fn reg ~help ("net." ^ name) f in
+  let g name help f = R.gauge_fn reg ~labels ~help ("net." ^ name) f in
   g "pkts_rx" "packets delivered to the server side" (fun () -> float_of_int t.st.pkts_rx);
   g "pkts_tx" "response packets onto the tx links" (fun () -> float_of_int t.st.pkts_tx);
   g "bytes_rx" "request bytes delivered" (fun () -> float_of_int t.st.bytes_rx);

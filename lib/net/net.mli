@@ -76,6 +76,12 @@ val refuse : t -> conn -> unit
     later. *)
 
 val close : t -> conn -> unit
+(** Close from either endpoint: pending receive bytes are dropped and the
+    serving side's readiness callback fires once more so it can observe
+    {!is_closed} and release the connection (slot, queue entry, decoder).
+    Idempotent; safe in any connection state. *)
+
+val is_closed : conn -> bool
 
 val set_on_readable : conn -> (unit -> unit) -> unit
 (** Install the server-side readiness callback, fired (as a bare event)
@@ -126,6 +132,6 @@ val local_fraction : t -> float
 (** Fraction of server-side ring traffic that stayed socket-local; [1.0]
     when there has been none. *)
 
-val register_obs : t -> Dps_obs.Registry.t -> unit
+val register_obs : ?labels:(string * string) list -> t -> Dps_obs.Registry.t -> unit
 (** Publish the {!stats} counters (and {!local_fraction}) as sampled
     gauges named [net.<counter>] in an observability registry. *)

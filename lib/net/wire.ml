@@ -55,13 +55,23 @@ let encode_response b = function
   | Client_error m -> Buffer.add_string b (Printf.sprintf "CLIENT_ERROR %s\r\n" m)
   | Server_error m -> Buffer.add_string b (Printf.sprintf "SERVER_ERROR %s\r\n" m)
 
-type 'a parse = Item of 'a | Need_more | Bad of string
+type 'a parse = Item of 'a | Need_more | Bad of { msg : string; reply : response }
 
-type decoder = { q : Byteq.t; max_line : int }
+type decoder = { q : Byteq.t; max_line : int; mutable skip : int }
 
-let decoder ?(max_line = 8192) () = { q = Byteq.create (); max_line }
+let decoder ?(max_line = 8192) () = { q = Byteq.create (); max_line; skip = 0 }
 let feed d s = Byteq.push d.q s
 let buffered d = Byteq.length d.q
+
+(* Burn off an announced-but-rejected data block (oversized set payload):
+   the command line was consumed and answered, but the client will still
+   transmit the [skip] payload bytes, which must not be parsed as commands. *)
+let drain_skip d =
+  if d.skip > 0 then begin
+    let n = min d.skip (Byteq.length d.q) in
+    Byteq.drop d.q n;
+    d.skip <- d.skip - n
+  end
 
 (* A protocol line starting at [pos]: [`Line (content, end_pos)] with
    [end_pos] just past the CRLF, [`Need_more] if the CRLF has not arrived,
@@ -90,7 +100,7 @@ let data_len_of s =
    whose frame boundary cannot be found. *)
 let drop_all d msg =
   Byteq.clear d.q;
-  Bad msg
+  Bad { msg; reply = Client_error msg }
 
 (* A data block of [n] bytes expected at [pos], CRLF-terminated:
    [`Data (bytes, end_pos)], [`Need_more], or [`Bad_term end_pos]. *)
@@ -101,45 +111,65 @@ let read_data d ~pos ~n =
   else `Bad_term (pos + n + 2)
 
 let next_request d =
-  match read_line d ~pos:0 with
-  | `Need_more -> Need_more
-  | `Too_long -> drop_all d "line too long"
-  | `Line (line, e) -> (
-      let bad msg =
-        Byteq.drop d.q e;
-        Bad msg
-      in
-      match tokens line with
-      | "get" :: (_ :: _ as keys) ->
+  drain_skip d;
+  if d.skip > 0 then Need_more
+  else
+    match read_line d ~pos:0 with
+    | `Need_more -> Need_more
+    | `Too_long -> drop_all d "line too long"
+    | `Line (line, e) -> (
+        let bad msg =
           Byteq.drop d.q e;
-          Item (Get keys)
-      | [ "get" ] -> bad "get: missing keys"
-      | "set" :: key :: flags :: exptime :: bytes :: rest -> (
-          let noreply =
-            match rest with [] -> Some false | [ "noreply" ] -> Some true | _ -> None
-          in
-          match (int_of_string_opt flags, int_of_string_opt exptime, data_len_of bytes, noreply)
-          with
-          | Some flags, Some exptime, Some n, Some noreply -> (
-              match read_data d ~pos:e ~n with
-              | `Need_more -> Need_more
-              | `Bad_term e' ->
-                  Byteq.drop d.q e';
-                  Bad "set: data block not CRLF-terminated"
-              | `Data (data, e') ->
-                  Byteq.drop d.q e';
-                  Item (Set { key; flags; exptime; data; noreply }))
-          | _ -> bad "set: bad argument")
-      | "set" :: _ -> bad "set: wrong number of arguments"
-      | [ "delete"; key ] ->
-          Byteq.drop d.q e;
-          Item (Delete { key; noreply = false })
-      | [ "delete"; key; "noreply" ] ->
-          Byteq.drop d.q e;
-          Item (Delete { key; noreply = true })
-      | "delete" :: _ -> bad "delete: wrong number of arguments"
-      | [] -> bad "empty command line"
-      | verb :: _ -> bad (Printf.sprintf "unknown command %S" verb))
+          Bad { msg; reply = Client_error msg }
+        in
+        match tokens line with
+        | "get" :: (_ :: _ as keys) ->
+            Byteq.drop d.q e;
+            Item (Get keys)
+        | [ "get" ] -> bad "get: missing keys"
+        | "set" :: key :: flags :: exptime :: bytes :: rest -> (
+            let noreply =
+              match rest with [] -> Some false | [ "noreply" ] -> Some true | _ -> None
+            in
+            match
+              (int_of_string_opt flags, int_of_string_opt exptime, int_of_string_opt bytes,
+               noreply)
+            with
+            | Some _, Some _, Some n, Some _ when n > max_data_len ->
+                (* The client announced a payload we refuse to buffer.  Answer
+                   now, and resynchronize by skipping the n+2 bytes (data +
+                   CRLF) it will transmit anyway, so the stream stays framed. *)
+                Byteq.drop d.q e;
+                d.skip <- n + 2;
+                drain_skip d;
+                Bad
+                  {
+                    msg = "set: object too large";
+                    reply = Server_error "object too large for cache";
+                  }
+            | Some flags, Some exptime, Some n, Some noreply when n >= 0 -> (
+                match read_data d ~pos:e ~n with
+                | `Need_more -> Need_more
+                | `Bad_term e' ->
+                    Byteq.drop d.q e';
+                    let msg = "set: data block not CRLF-terminated" in
+                    Bad { msg; reply = Client_error msg }
+                | `Data (data, e') ->
+                    Byteq.drop d.q e';
+                    Item (Set { key; flags; exptime; data; noreply }))
+            | _ -> bad "set: bad argument")
+        | "set" :: _ -> bad "set: wrong number of arguments"
+        | [ "delete"; key ] ->
+            Byteq.drop d.q e;
+            Item (Delete { key; noreply = false })
+        | [ "delete"; key; "noreply" ] ->
+            Byteq.drop d.q e;
+            Item (Delete { key; noreply = true })
+        | "delete" :: _ -> bad "delete: wrong number of arguments"
+        | [] -> bad "empty command line"
+        | verb :: _ ->
+            Byteq.drop d.q e;
+            Bad { msg = Printf.sprintf "unknown command %S" verb; reply = Error })
 
 (* "CLIENT_ERROR <msg>" -> "<msg>" (both verbs are 12 characters) *)
 let error_message line =
@@ -156,7 +186,7 @@ let next_response d =
     | `Line (line, e) -> (
         let bad msg =
           Byteq.drop d.q e;
-          Bad msg
+          Bad { msg; reply = Client_error msg }
         in
         match tokens line with
         | [ "END" ] ->
@@ -169,7 +199,8 @@ let next_response d =
                 | `Need_more -> Need_more
                 | `Bad_term e' ->
                     Byteq.drop d.q e';
-                    Bad "VALUE: data block not CRLF-terminated"
+                    let msg = "VALUE: data block not CRLF-terminated" in
+                    Bad { msg; reply = Client_error msg }
                 | `Data (vdata, e') -> values ({ vkey; vflags; vdata } :: acc) e')
             | _ -> bad "VALUE: bad argument")
         | _ when acc <> [] -> bad "values reply: expected VALUE or END"
@@ -177,7 +208,7 @@ let next_response d =
   and status line e =
     let bad msg =
       Byteq.drop d.q e;
-      Bad msg
+      Bad { msg; reply = Client_error msg }
     in
     let item r =
       Byteq.drop d.q e;

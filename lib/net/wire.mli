@@ -9,8 +9,13 @@
 
     Malformed input (unknown verbs, wrong arity, non-numeric counts,
     over-long lines, data blocks missing their CRLF terminator) yields
-    [Bad] and consumes the offending frame, so a server can answer
-    [CLIENT_ERROR] and keep parsing the connection. *)
+    [Bad] carrying the canonical protocol answer — [ERROR] for unknown
+    commands, [CLIENT_ERROR] for bad arguments, [SERVER_ERROR object too
+    large for cache] for over-limit set payloads — and consumes the
+    offending frame, so a server replies and keeps parsing the connection.
+    An over-limit set additionally arms a skip counter for the announced
+    data block, so the payload the client transmits anyway is discarded
+    instead of being misparsed as a cascade of garbage commands. *)
 
 type request =
   | Get of string list  (** one or more keys *)
@@ -35,7 +40,10 @@ val encode_response : Buffer.t -> response -> unit
 type 'a parse =
   | Item of 'a
   | Need_more  (** the buffered bytes end mid-frame; feed more *)
-  | Bad of string  (** malformed frame, consumed; parsing may continue *)
+  | Bad of { msg : string; reply : response }
+      (** malformed frame, consumed; [reply] is the canonical wire answer
+          ([Error] / [Client_error] / [Server_error]) and parsing may
+          continue from the next frame boundary *)
 
 type decoder
 

@@ -18,6 +18,8 @@ type config = {
   poll_interval : int;
   spin_rounds : int;
   park_max : int;
+  acceptor_hw : int option;
+  shed_threshold : int;
 }
 
 let default_config =
@@ -30,6 +32,8 @@ let default_config =
     poll_interval = 2000;
     spin_rounds = 4;
     park_max = 16_000;
+    acceptor_hw = None;
+    shed_threshold = 0;
   }
 
 type stats = {
@@ -43,6 +47,8 @@ type stats = {
   mutable bad_requests : int;
   mutable batches : int;
   mutable parks : int;
+  mutable shed : int;
+  mutable closed : int;
 }
 
 type sconn = {
@@ -50,6 +56,7 @@ type sconn = {
   dec : Wire.decoder;
   out : Buffer.t;
   mutable queued : bool;
+  mutable dead : bool;  (* close observed and slot released; count once *)
 }
 
 type poller = {
@@ -79,7 +86,7 @@ let stats t = t.st
 let wake_poller t p = if p.tid >= 0 then ignore (Sthread.unpark t.sched ~tid:p.tid)
 
 let enqueue t p sc =
-  if not sc.queued then begin
+  if (not sc.queued) && not sc.dead then begin
     sc.queued <- true;
     Queue.push sc p.ready;
     wake_poller t p
@@ -107,12 +114,16 @@ let handle t sc req =
           keys
       in
       out (Wire.Values vs)
-  | Wire.Set { key; data; noreply; _ } -> (
+  | Wire.Set { key; data; noreply; flags; _ } -> (
       match int_of_string_opt key with
       | Some key ->
           t.st.sets <- t.st.sets + 1;
-          t.backend.Variants.set ~key
-            ~val_lines:(max 1 ((String.length data + 63) / 64));
+          let val_lines = max 1 ((String.length data + 63) / 64) in
+          (* the flags field doubles as a client-chosen operation tag for
+             apply-tracking backends (exactly-once ledger in cluster mode) *)
+          (match t.backend.Variants.set_tagged with
+          | Some set_tagged -> set_tagged ~key ~val_lines ~tag:flags
+          | None -> t.backend.Variants.set ~key ~val_lines);
           if not noreply then out Wire.Stored
       | None ->
           t.st.bad_requests <- t.st.bad_requests + 1;
@@ -129,18 +140,44 @@ let handle t sc req =
 
 (* One service round for a readable connection: drain bytes, serve up to
    [batch_limit] requests, write the batched response. *)
+(* The peer closed: count it once and release the connection's slot (the
+   acceptor admits against live = accepted - closed). The sconn simply
+   stops being re-enqueued; its decoder and buffers go with it. *)
+let release t sc =
+  if not sc.dead then begin
+    sc.dead <- true;
+    t.st.closed <- t.st.closed + 1
+  end
+
 let service t p sc =
+  if Net.is_closed sc.c then release t sc
+  else
   obs_span ~args:[ ("conn", Obs.A_int (Net.conn_id sc.c)) ] "srv.service" @@ fun () ->
   let data = obs_span "srv.rx" (fun () -> Net.recv t.net sc.c ~max:t.cfg.recv_chunk) in
   Wire.feed sc.dec data;
+  (* bounded-queue load shedding: when this poller's ready backlog exceeds
+     the threshold, answer SERVER_ERROR busy without touching the backend —
+     clients back off and retry instead of queueing into unbounded latency *)
+  let overloaded =
+    t.cfg.shed_threshold > 0 && Queue.length p.ready >= t.cfg.shed_threshold
+  in
   let served = ref 0 in
   let parsing = ref true in
   while !parsing && !served < t.cfg.batch_limit do
     match obs_span "srv.parse" (fun () -> Wire.next_request sc.dec) with
     | Wire.Need_more -> parsing := false
-    | Wire.Bad msg ->
+    | Wire.Bad { msg = _; reply } ->
         t.st.bad_requests <- t.st.bad_requests + 1;
-        Wire.encode_response sc.out (Wire.Client_error msg);
+        Wire.encode_response sc.out reply;
+        incr served
+    | Wire.Item req when overloaded ->
+        t.st.shed <- t.st.shed + 1;
+        let noreply =
+          match req with
+          | Wire.Set { noreply; _ } | Wire.Delete { noreply; _ } -> noreply
+          | Wire.Get _ -> false
+        in
+        if not noreply then Wire.encode_response sc.out (Wire.Server_error "busy");
         incr served
     | Wire.Item req ->
         obs_span "srv.serve" (fun () -> handle t sc req);
@@ -214,7 +251,8 @@ let acceptor_body t () =
     match Net.accept t.net with
     | None -> continue := false
     | Some c ->
-        if t.stopping || t.st.conns >= t.cfg.max_conns then Net.refuse t.net c
+        if t.stopping || t.st.conns - t.st.closed >= t.cfg.max_conns then
+          Net.refuse t.net c
         else begin
           t.st.conns <- t.st.conns + 1;
           let socket = Net.socket_of_conn c in
@@ -227,7 +265,9 @@ let acceptor_body t () =
           let n = List.length candidates in
           let p = List.nth candidates (t.rr.(socket) mod n) in
           t.rr.(socket) <- t.rr.(socket) + 1;
-          let sc = { c; dec = Wire.decoder (); out = Buffer.create 256; queued = false } in
+          let sc =
+            { c; dec = Wire.decoder (); out = Buffer.create 256; queued = false; dead = false }
+          in
           Net.set_on_readable c (fun () -> enqueue t p sc);
           if Net.recv_ready c > 0 then enqueue t p sc
         end
@@ -272,16 +312,30 @@ let start sched net ~backend cfg =
           bad_requests = 0;
           batches = 0;
           parks = 0;
+          shed = 0;
+          closed = 0;
         };
       payload = String.make (cfg.val_lines * 64) 'v';
     }
   in
   Array.iter (fun p -> Sthread.spawn sched ~hw:p.hw (poller_body t p)) pollers;
-  (* acceptor on the machine's last hardware thread: a second hyperthread
-     the placement rule leaves free below full occupancy, and it parks
-     (releasing the core) whenever no connection is pending *)
-  Sthread.spawn sched ~hw:(Topology.nthreads topo - 1) (acceptor_body t);
+  (* acceptor on the machine's last hardware thread by default: a second
+     hyperthread the placement rule leaves free below full occupancy, and it
+     parks (releasing the core) whenever no connection is pending. Cluster
+     mode overrides the placement so co-hosted nodes don't collide. *)
+  let acceptor_hw =
+    match cfg.acceptor_hw with Some hw -> hw | None -> Topology.nthreads topo - 1
+  in
+  Sthread.spawn sched ~hw:acceptor_hw (acceptor_body t);
   t
+
+let poller_tids t =
+  Array.to_list t.pollers |> List.map (fun p -> p.tid) |> List.filter (fun tid -> tid >= 0)
+
+let acceptor_tid t = t.acceptor_tid
+
+let pending_conns t =
+  Array.fold_left (fun acc p -> acc + Queue.length p.ready) 0 t.pollers
 
 let stop t =
   if not t.stopping then begin
@@ -290,9 +344,9 @@ let stop t =
     Array.iter (fun p -> wake_poller t p) t.pollers
   end
 
-let register_obs t reg =
+let register_obs ?(labels = []) t reg =
   let module R = Dps_obs.Registry in
-  let g name f = R.gauge_fn reg name (fun () -> float_of_int (f t.st)) in
+  let g name f = R.gauge_fn reg name ~labels (fun () -> float_of_int (f t.st)) in
   g "srv.conns" (fun s -> s.conns);
   g "srv.requests" (fun s -> s.requests);
   g "srv.gets" (fun s -> s.gets);
@@ -302,4 +356,6 @@ let register_obs t reg =
   g "srv.dels" (fun s -> s.dels);
   g "srv.bad_requests" (fun s -> s.bad_requests);
   g "srv.batches" (fun s -> s.batches);
-  g "srv.parks" (fun s -> s.parks)
+  g "srv.parks" (fun s -> s.parks);
+  g "srv.shed" (fun s -> s.shed);
+  g "srv.closed" (fun s -> s.closed)

@@ -42,6 +42,17 @@ type config = {
           doubles from [poll_interval] each consecutive empty round, capped
           here, so a long-idle poller neither burns cycles nor sleeps
           through a ring that fills up *)
+  acceptor_hw : int option;
+      (** hardware thread for the acceptor; [None] (the default) uses the
+          machine's last thread. Cluster mode pins each node's acceptor
+          inside the node's own socket so co-hosted servers don't collide. *)
+  shed_threshold : int;
+      (** bounded-queue load shedding: when a poller's ready-connection
+          backlog reaches this many entries, further parsed requests are
+          answered [SERVER_ERROR busy] without touching the backend, so an
+          overloaded shard degrades into fast rejections (which routed
+          clients retry after backoff) instead of unbounded queueing delay.
+          [0] (the default) disables shedding. *)
 }
 
 val default_config : config
@@ -57,9 +68,15 @@ type stats = {
   mutable hits : int;
   mutable sets : int;
   mutable dels : int;
-  mutable bad_requests : int;  (** malformed frames answered CLIENT_ERROR *)
+  mutable bad_requests : int;
+      (** malformed frames answered ERROR / CLIENT_ERROR / SERVER_ERROR *)
   mutable batches : int;  (** batched response writes *)
   mutable parks : int;  (** poller blocking episodes (spin rounds excluded) *)
+  mutable shed : int;  (** requests answered [SERVER_ERROR busy] under overload *)
+  mutable closed : int;
+      (** peer-closed connections observed and released; the acceptor
+          admits against [conns - closed], so churny clients cannot
+          exhaust the connection limit *)
 }
 
 type t
@@ -76,6 +93,18 @@ val stop : t -> unit
 
 val stats : t -> stats
 
-val register_obs : t -> Dps_obs.Registry.t -> unit
+val poller_tids : t -> int list
+(** Simulated thread ids of the pollers that have started running — the
+    kill set for fault injection against this server instance. *)
+
+val acceptor_tid : t -> int
+(** The acceptor's simulated thread id, or [-1] before it first runs. *)
+
+val pending_conns : t -> int
+(** Connections currently queued ready across all pollers; [0] once the
+    server is fully drained (leak check for churn soak tests). *)
+
+val register_obs : ?labels:(string * string) list -> t -> Dps_obs.Registry.t -> unit
 (** Publish the server's stats record as [srv.<counter>] callback gauges
-    in an observability registry. *)
+    in an observability registry; [labels] (e.g. [("node", "2")]) scope
+    the metrics when several server instances share one registry. *)

@@ -137,6 +137,458 @@ let rec arrival_process f cs ~mean_gap =
         issue f cs;
         arrival_process f cs ~mean_gap)
 
+(* ------------------------------------------------------------------ *)
+(* Routed fleets: clients hash keys to shard nodes through a router,   *)
+(* retry refused/busy/orphaned requests with capped exponential        *)
+(* backoff + jitter, and fail over to the shard's successor when the   *)
+(* cluster declares a node dead.                                       *)
+(* ------------------------------------------------------------------ *)
+
+type router = {
+  nnodes : int;
+  net_of : int -> Net.t;
+  nic_of : int -> int;
+  node_of_key : int -> int;
+  node_up : int -> bool;
+  failover_of : int -> int;
+  subscribe_down : (int -> unit) -> unit;
+}
+
+type rspec = {
+  base : spec;  (** [nconns] is per node; [mode] must be closed-loop *)
+  key_pool : int array option;
+  req_timeout : int;
+  max_retries : int;
+  backoff_base : int;
+  backoff_cap : int;
+  churn_interval : int;
+  window : int;
+  on_acked : (opid:int -> node:int -> unit) option;
+}
+
+let rspec ?(base = spec ()) ?key_pool ?(req_timeout = 60_000) ?(max_retries = 6)
+    ?(backoff_base = 2_000) ?(backoff_cap = 40_000) ?(churn_interval = 0) ?(window = 0)
+    ?on_acked () =
+  { base; key_pool; req_timeout; max_retries; backoff_base; backoff_cap; churn_interval;
+    window; on_acked }
+
+type routed_result = {
+  agg : result;
+  retries : int;
+  rerouted : int;
+  busy : int;
+  timeouts : int;
+  dropped : int;
+  abandoned : int;
+  churned : int;
+  per_node_completed : int array;
+  per_node_p99 : int array;
+  goodput_timeline : int array;
+  window_cycles : int;
+}
+
+type rop = {
+  opid : int;
+  rkind : [ `Get | `Set ];
+  key : int;
+  user : int;
+  t0 : int;
+  mutable attempts : int;  (** wire sends so far *)
+  mutable resolved : bool;
+  mutable timed_out : bool;
+  mutable last_node : int;
+  mutable on_conn : rconn option;  (** the connection currently carrying it *)
+}
+
+and rconn = {
+  rnode : int;
+  mutable rc : Net.conn option;
+  mutable rdec : Wire.decoder;
+  renc : Buffer.t;
+  rinflight : rop Queue.t;
+  mutable rdead : bool;
+}
+
+type rfleet = {
+  rsched : Sthread.t;
+  router : router;
+  rs : rspec;
+  rdist : Keydist.t;
+  rset_data : string;
+  rstart : int;
+  rhorizon : int;
+  rdeadline : int;  (** past this, nothing re-arms or retries *)
+  rhist : Histogram.t;
+  node_hist : Histogram.t array;
+  pools : rconn array array;
+  key_prng : Prng.t;
+  jitter_prng : Prng.t;
+  timeline : int array;
+  twindow : int;
+  mutable next_opid : int;
+  mutable rissued : int;
+  mutable rcompleted : int;
+  mutable rresolved : int;
+  mutable rerrors : int;
+  mutable rhits : int;
+  mutable rrefused : int;
+  mutable rretries : int;
+  mutable rrerouted : int;
+  mutable rbusy : int;
+  mutable rtimeouts : int;
+  mutable rdropped : int;
+  mutable rchurned : int;
+  node_completed : int array;
+}
+
+let sample_key f =
+  match f.rs.key_pool with
+  | Some pool -> pool.(Keydist.sample f.rdist f.key_prng mod Array.length pool)
+  | None -> Keydist.sample f.rdist f.key_prng
+
+(* Route: ring owner if up, else its failover target, else the (possibly
+   stale) owner — the refusal or timeout path will retry later. *)
+let target_node f key =
+  let n = f.router.node_of_key key in
+  if f.router.node_up n then n
+  else
+    let s = f.router.failover_of n in
+    if f.router.node_up s then s else n
+
+let record_completion f node latency =
+  f.rcompleted <- f.rcompleted + 1;
+  f.rresolved <- f.rresolved + 1;
+  Histogram.add f.rhist latency;
+  Histogram.add f.node_hist.(node) latency;
+  f.node_completed.(node) <- f.node_completed.(node) + 1;
+  let w = (Sthread.now f.rsched - f.rstart) / f.twindow in
+  if w >= 0 && w < Array.length f.timeline then
+    f.timeline.(w) <- f.timeline.(w) + 1
+
+let rec ensure_conn f rc =
+  if rc.rdead || rc.rc = None then begin
+    rc.rdead <- false;
+    rc.rdec <- Wire.decoder ();
+    let conn =
+      Net.connect (f.router.net_of rc.rnode) ~nic:(f.router.nic_of rc.rnode)
+        ~rx:(fun data -> on_rx_routed f rc data)
+        ~on_refused:(fun () ->
+          f.rrefused <- f.rrefused + 1;
+          fail_conn f rc ~close:false)
+        ()
+    in
+    rc.rc <- Some conn
+  end
+
+(* The connection is unusable (refused, or its node was declared dead):
+   close it so late responses cannot double-complete, and push every
+   inflight operation onto the retry path. *)
+and fail_conn f rc ~close =
+  if not rc.rdead then begin
+    rc.rdead <- true;
+    (match rc.rc with
+    | Some c when close -> Net.close (f.router.net_of rc.rnode) c
+    | _ -> ());
+    rc.rc <- None;
+    let orphans = Queue.fold (fun acc op -> op :: acc) [] rc.rinflight in
+    Queue.clear rc.rinflight;
+    List.iter
+      (fun op ->
+        op.on_conn <- None;
+        retry_op f op)
+      (List.rev orphans)
+  end
+
+(* Capped exponential backoff with jitter: delay in [b/2, b) where
+   b = min cap (base * 2^(attempts-1)). *)
+and retry_op f op =
+  if not op.resolved then begin
+    if op.attempts > f.rs.max_retries then begin
+      op.resolved <- true;
+      f.rresolved <- f.rresolved + 1;
+      f.rdropped <- f.rdropped + 1;
+      f.rerrors <- f.rerrors + 1;
+      user_next f op
+    end
+    else if Sthread.now f.rsched >= f.rdeadline then begin
+      op.resolved <- true;
+      f.rresolved <- f.rresolved + 1;
+      f.rdropped <- f.rdropped + 1
+    end
+    else begin
+      f.rretries <- f.rretries + 1;
+      let b = min f.rs.backoff_cap (f.rs.backoff_base lsl min 16 (max 0 (op.attempts - 1))) in
+      let delay = (b / 2) + 1 + Prng.int f.jitter_prng (max 1 (b / 2)) in
+      Sthread.at f.rsched ~time:(Sthread.now f.rsched + delay) (fun () ->
+          if not op.resolved then
+            if Sthread.now f.rsched >= f.rdeadline then begin
+              op.resolved <- true;
+              f.rresolved <- f.rresolved + 1;
+              f.rdropped <- f.rdropped + 1
+            end
+            else send_op f op)
+    end
+  end
+
+and send_op f op =
+  let node = target_node f op.key in
+  let pool = f.pools.(node) in
+  let rc = pool.(op.user mod Array.length pool) in
+  ensure_conn f rc;
+  match rc.rc with
+  | None -> retry_op f op
+  | Some conn ->
+      if op.attempts > 0 && node <> op.last_node then f.rrerouted <- f.rrerouted + 1;
+      op.last_node <- node;
+      op.attempts <- op.attempts + 1;
+      op.on_conn <- Some rc;
+      Buffer.clear rc.renc;
+      (match op.rkind with
+      | `Set ->
+          Wire.encode_request rc.renc
+            (Wire.Set
+               {
+                 key = string_of_int op.key;
+                 flags = op.opid;
+                 exptime = 0;
+                 data = f.rset_data;
+                 noreply = false;
+               })
+      | `Get -> Wire.encode_request rc.renc (Wire.Get [ string_of_int op.key ]));
+      Queue.push op rc.rinflight;
+      Net.send (f.router.net_of node) conn (Buffer.contents rc.renc);
+      arm_timeout f op ~gen:op.attempts
+
+and arm_timeout f op ~gen =
+  Sthread.at f.rsched ~time:(Sthread.now f.rsched + f.rs.req_timeout) (fun () ->
+      on_timeout f op ~gen)
+
+and on_timeout f op ~gen =
+  if (not op.resolved) && op.attempts = gen then
+    match op.on_conn with
+    | None -> ()  (* already on the backoff path *)
+    | Some rc ->
+        if rc.rdead then ()
+        else if not (f.router.node_up rc.rnode) then
+          (* target declared dead: the connection is orphaned — drain it,
+             which reroutes every inflight op including this one *)
+          fail_conn f rc ~close:true
+        else begin
+          (* live node, slow reply: never retransmit on a live FIFO
+             connection (the response will still arrive and a blind
+             retransmit would double-apply); just keep watching *)
+          if not op.timed_out then begin
+            op.timed_out <- true;
+            f.rtimeouts <- f.rtimeouts + 1
+          end;
+          if Sthread.now f.rsched < f.rdeadline then arm_timeout f op ~gen
+        end
+
+and on_rx_routed f rc data =
+  Wire.feed rc.rdec data;
+  let parsing = ref true in
+  while !parsing do
+    match Wire.next_response rc.rdec with
+    | Wire.Need_more -> parsing := false
+    | Wire.Bad _ -> f.rerrors <- f.rerrors + 1
+    | Wire.Item resp -> (
+        match Queue.take_opt rc.rinflight with
+        | None -> f.rerrors <- f.rerrors + 1
+        | Some op -> (
+            op.on_conn <- None;
+            if not op.resolved then
+              match resp with
+              | Wire.Server_error m
+                when String.length m >= 4 && String.sub m 0 4 = "busy" ->
+                  (* shed under overload: the backend never saw it, so a
+                     retransmit after backoff is safe *)
+                  f.rbusy <- f.rbusy + 1;
+                  retry_op f op
+              | _ ->
+                  op.resolved <- true;
+                  record_completion f rc.rnode (Sthread.now f.rsched - op.t0);
+                  (match resp with
+                  | Wire.Values vs -> f.rhits <- f.rhits + List.length vs
+                  | Wire.Stored -> (
+                      match (f.rs.on_acked, op.rkind) with
+                      | Some cb, `Set -> cb ~opid:op.opid ~node:rc.rnode
+                      | _ -> ())
+                  | Wire.Error | Wire.Client_error _ | Wire.Server_error _ ->
+                      f.rerrors <- f.rerrors + 1
+                  | Wire.Not_stored | Wire.Deleted | Wire.Not_found -> ());
+                  user_next f op))
+  done
+
+and user_next f op =
+  match f.rs.base.mode with
+  | Open _ -> ()
+  | Closed { think } ->
+      let when_ = Sthread.now f.rsched + think in
+      if when_ < f.rhorizon then
+        Sthread.at f.rsched ~time:when_ (fun () -> new_op f op.user)
+
+and new_op f user =
+  if Sthread.now f.rsched < f.rhorizon then begin
+    let kind = if Prng.int f.key_prng 100 < f.rs.base.set_pct then `Set else `Get in
+    let op =
+      {
+        opid = f.next_opid;
+        rkind = kind;
+        key = sample_key f;
+        user;
+        t0 = Sthread.now f.rsched;
+        attempts = 0;
+        resolved = false;
+        timed_out = false;
+        last_node = -1;
+        on_conn = None;
+      }
+    in
+    f.next_opid <- f.next_opid + 1;
+    f.rissued <- f.rissued + 1;
+    send_op f op
+  end
+
+(* Connection churn: every [churn_interval] cycles recycle one drained
+   connection (close + lazy reconnect on next use), round-robin over the
+   whole cluster — connection setup/teardown keeps running under load. *)
+let rec churn_tick f ~cursor =
+  if Sthread.now f.rsched < f.rhorizon then begin
+    let total = Array.fold_left (fun acc p -> acc + Array.length p) 0 f.pools in
+    let nth i =
+      let i = i mod total in
+      let rec pick node i =
+        if i < Array.length f.pools.(node) then f.pools.(node).(i)
+        else pick (node + 1) (i - Array.length f.pools.(node))
+      in
+      pick 0 i
+    in
+    let rec find i left =
+      if left = 0 then None
+      else
+        let rc = nth i in
+        if
+          (not rc.rdead) && rc.rc <> None
+          && Queue.is_empty rc.rinflight
+          && f.router.node_up rc.rnode
+        then Some rc
+        else find (i + 1) (left - 1)
+    in
+    (match find cursor total with
+    | Some rc ->
+        (match rc.rc with
+        | Some c -> Net.close (f.router.net_of rc.rnode) c
+        | None -> ());
+        rc.rc <- None;
+        rc.rdead <- true;
+        f.rchurned <- f.rchurned + 1
+    | None -> ());
+    Sthread.at f.rsched
+      ~time:(Sthread.now f.rsched + f.rs.churn_interval)
+      (fun () -> churn_tick f ~cursor:(cursor + 1))
+  end
+
+let run_routed sched router rs ~duration ?(stop = fun () -> ()) () =
+  (match rs.base.mode with
+  | Closed _ -> ()
+  | Open _ -> invalid_arg "Netload.run_routed: open-loop mode is not supported");
+  let sp = rs.base in
+  let start = Sthread.now sched in
+  let horizon = start + duration in
+  let link_latency = (Net.config (router.net_of 0)).Net.link_latency in
+  let grace = (10 * link_latency) + rs.req_timeout + 20_000 in
+  let master = Prng.create sp.seed in
+  let twindow = if rs.window > 0 then rs.window else max 1 (duration / 32) in
+  let f =
+    {
+      rsched = sched;
+      router;
+      rs;
+      rdist =
+        (if sp.zipfian then Keydist.zipf ~range:sp.key_range ()
+         else Keydist.uniform ~range:sp.key_range);
+      rset_data = String.make (sp.val_lines * 64) 'x';
+      rstart = start;
+      rhorizon = horizon;
+      rdeadline = horizon + grace;
+      rhist = Histogram.create ();
+      node_hist = Array.init router.nnodes (fun _ -> Histogram.create ());
+      pools =
+        Array.init router.nnodes (fun node ->
+            Array.init sp.nconns (fun _ ->
+                {
+                  rnode = node;
+                  rc = None;
+                  rdec = Wire.decoder ();
+                  renc = Buffer.create 256;
+                  rinflight = Queue.create ();
+                  rdead = true;
+                }));
+      key_prng = Prng.split master;
+      jitter_prng = Prng.split master;
+      timeline = Array.make ((duration / twindow) + 1) 0;
+      twindow;
+      next_opid = 1;
+      rissued = 0;
+      rcompleted = 0;
+      rresolved = 0;
+      rerrors = 0;
+      rhits = 0;
+      rrefused = 0;
+      rretries = 0;
+      rrerouted = 0;
+      rbusy = 0;
+      rtimeouts = 0;
+      rdropped = 0;
+      rchurned = 0;
+      node_completed = Array.make router.nnodes 0;
+    }
+  in
+  router.subscribe_down (fun node ->
+      Array.iter (fun rc -> fail_conn f rc ~close:true) f.pools.(node));
+  (match sp.mode with
+  | Closed { think } ->
+      for u = 0 to sp.nclients - 1 do
+        let offset =
+          if think > 0 then Prng.int f.jitter_prng think else Prng.int f.jitter_prng 64
+        in
+        Sthread.at sched ~time:(start + 1 + offset) (fun () -> new_op f u)
+      done
+  | Open _ -> assert false);
+  if rs.churn_interval > 0 then
+    Sthread.at sched ~time:(start + rs.churn_interval) (fun () -> churn_tick f ~cursor:0);
+  Sthread.at sched ~time:(horizon + grace) (fun () -> stop ());
+  Sthread.run sched;
+  let seconds = Machine.cycles_to_seconds (Sthread.machine sched) duration in
+  {
+    agg =
+      {
+        issued = f.rissued;
+        completed = f.rcompleted;
+        errors = f.rerrors;
+        hits = f.rhits;
+        refused_conns = f.rrefused;
+        duration_cycles = Sthread.now sched - start;
+        throughput_mops =
+          (if f.rcompleted = 0 then 0.0 else float_of_int f.rcompleted /. seconds /. 1e6);
+        mean_latency = Histogram.mean f.rhist;
+        p50 = Histogram.percentile f.rhist 0.50;
+        p99 = Histogram.percentile f.rhist 0.99;
+        p999 = Histogram.percentile f.rhist 0.999;
+      };
+    retries = f.rretries;
+    rerouted = f.rrerouted;
+    busy = f.rbusy;
+    timeouts = f.rtimeouts;
+    dropped = f.rdropped;
+    abandoned = f.rissued - f.rresolved;
+    churned = f.rchurned;
+    per_node_completed = Array.copy f.node_completed;
+    per_node_p99 = Array.map (fun h -> Histogram.percentile h 0.99) f.node_hist;
+    goodput_timeline = f.timeline;
+    window_cycles = twindow;
+  }
+
 let run sched net sp ~duration ?(stop = fun () -> ()) () =
   let start = Sthread.now sched in
   let horizon = start + duration in

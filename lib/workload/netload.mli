@@ -80,3 +80,83 @@ val run :
     [Server.stop]) once the issue window plus a drain grace has elapsed.
     Runs the scheduler to quiescence and reports fleet-side measurements.
     Connections are spread round-robin over the NICs. *)
+
+(** {1 Routed fleets (cluster mode)}
+
+    A {!router} abstracts the cluster's sharding so this library needs no
+    dependency on [lib/cluster]: clients hash each key to a shard node,
+    keep a per-node connection pool, and recover from failure with capped
+    exponential backoff + jitter. The retry policy only ever retransmits
+    an operation when the original cannot have been applied by a
+    surviving node — refused connection, [SERVER_ERROR busy] shed, or the
+    target declared dead — never on a slow-but-live FIFO connection,
+    where a blind retransmit would double-apply. *)
+
+type router = {
+  nnodes : int;
+  net_of : int -> Net.t;  (** the node's network front-end *)
+  nic_of : int -> int;  (** which NIC of that front-end to dial *)
+  node_of_key : int -> int;  (** current ring owner of a key *)
+  node_up : int -> bool;
+  failover_of : int -> int;
+      (** retry target for a down node whose ring replay is still pending *)
+  subscribe_down : (int -> unit) -> unit;
+      (** register a callback fired when the cluster declares a node dead;
+          the fleet uses it to drain (close + reroute) orphaned
+          connections promptly *)
+}
+
+type rspec = {
+  base : spec;
+      (** key/value mix, clients and seed; [nconns] is {e per node};
+          [mode] must be closed-loop *)
+  key_pool : int array option;  (** restrict keys to this pool (incast) *)
+  req_timeout : int;  (** cycles before an outstanding request is suspect *)
+  max_retries : int;  (** wire sends per logical op before giving up *)
+  backoff_base : int;  (** first retry delay bound, cycles *)
+  backoff_cap : int;  (** backoff ceiling, cycles *)
+  churn_interval : int;
+      (** when positive, close one drained connection every this many
+          cycles (round-robin) and reconnect lazily on next use *)
+  window : int;  (** goodput timeline bucket width; [0] = duration/32 *)
+  on_acked : (opid:int -> node:int -> unit) option;
+      (** exactly-once ledger hook: a set's STORED ack parsed, from
+          [node]. The op id is also carried to the server in the
+          memcached [flags] field. *)
+}
+
+val rspec :
+  ?base:spec ->
+  ?key_pool:int array ->
+  ?req_timeout:int ->
+  ?max_retries:int ->
+  ?backoff_base:int ->
+  ?backoff_cap:int ->
+  ?churn_interval:int ->
+  ?window:int ->
+  ?on_acked:(opid:int -> node:int -> unit) ->
+  unit ->
+  rspec
+(** Defaults: 60k-cycle timeout, 6 retries, backoff 2k doubling to 40k,
+    no churn. *)
+
+type routed_result = {
+  agg : result;  (** [issued] counts logical ops; retries are separate *)
+  retries : int;  (** extra wire sends (backoff path) *)
+  rerouted : int;  (** retries that changed node *)
+  busy : int;  (** [SERVER_ERROR busy] sheds absorbed and retried *)
+  timeouts : int;  (** ops that outlived [req_timeout] at least once *)
+  dropped : int;  (** ops given up after [max_retries] or at the deadline *)
+  abandoned : int;  (** ops never resolved when the run ended *)
+  churned : int;  (** connections recycled by the churn process *)
+  per_node_completed : int array;
+  per_node_p99 : int array;
+  goodput_timeline : int array;  (** completions per [window_cycles] bucket *)
+  window_cycles : int;
+}
+
+val run_routed :
+  Sthread.t -> router -> rspec -> duration:int -> ?stop:(unit -> unit) -> unit -> routed_result
+(** Like {!run} but sharded through [router]. The drain grace is extended
+    by [req_timeout] so reroutes still in backoff can land; [stop] should
+    stop the whole cluster (servers and health probe). *)

@@ -1,0 +1,194 @@
+(* Cluster layer: consistent-hash ring properties, sharded end-to-end
+   serving, node-kill failover with the exactly-once oracle, and load
+   shedding under overload. *)
+
+module Machine = Dps_machine.Machine
+module Sthread = Dps_sthread.Sthread
+module Netload = Dps_workload.Netload
+module Cluster = Dps_cluster.Cluster
+module Ring = Dps_cluster.Ring
+module Eo = Dps_check.Eo
+
+let mk () = Sthread.create (Machine.create (Machine.config_scaled ()))
+
+(* --- ring properties (pure) --- *)
+
+let test_ring_coverage () =
+  let r = Ring.create ~nnodes:4 () in
+  let nkeys = 10_000 in
+  let owned = Array.make 4 0 in
+  for k = 0 to nkeys - 1 do
+    let n = Ring.lookup r k in
+    Alcotest.(check bool) "owner in range" true (n >= 0 && n < 4);
+    owned.(n) <- owned.(n) + 1
+  done;
+  Array.iteri
+    (fun n c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d owns >= 5%% (got %d)" n c)
+        true
+        (c * 20 >= nkeys))
+    owned;
+  (* the layout is seedless: a second ring agrees on every owner *)
+  let r' = Ring.create ~nnodes:4 () in
+  for k = 0 to 999 do
+    Alcotest.(check int) "deterministic layout" (Ring.lookup r k) (Ring.lookup r' k)
+  done
+
+let test_ring_remove_stability () =
+  let r = Ring.create ~nnodes:4 () in
+  let nkeys = 10_000 in
+  let before = Array.init nkeys (Ring.lookup r) in
+  Ring.remove r 1;
+  Alcotest.(check bool) "node 1 no longer live" false (Ring.is_live r 1);
+  let remapped = ref 0 in
+  for k = 0 to nkeys - 1 do
+    let now = Ring.lookup r k in
+    if before.(k) = 1 then begin
+      incr remapped;
+      Alcotest.(check bool) "orphan lands on a survivor" true (now <> 1)
+    end
+    else Alcotest.(check int) "survivor keys keep their owner" before.(k) now
+  done;
+  Alcotest.(check bool) "some keys actually remapped" true (!remapped > 0);
+  (* idempotent *)
+  Ring.remove r 1;
+  Alcotest.(check int) "still 3 nodes" 3 (Ring.size r)
+
+let test_ring_successor () =
+  let r = Ring.create ~nnodes:4 () in
+  List.iter
+    (fun n ->
+      let s = Ring.successor r n in
+      Alcotest.(check bool) "successor is live" true (Ring.is_live r s);
+      Alcotest.(check bool) "successor is another node" true (s <> n))
+    (Ring.nodes r);
+  Ring.remove r 2;
+  Ring.remove r 3;
+  Alcotest.(check int) "successor with 2 live" 1 (Ring.successor r 0);
+  Ring.remove r 1;
+  Alcotest.(check int) "sole survivor is its own successor" 0 (Ring.successor r 0);
+  Alcotest.check_raises "removing the last node raises"
+    (Invalid_argument "Ring.remove: removing the last node") (fun () -> Ring.remove r 0)
+
+(* --- cluster end-to-end --- *)
+
+let items = 2048
+
+let mk_cluster ?(nnodes = 4) ?(shed_threshold = 0) sched eo =
+  let cfg =
+    {
+      Cluster.default_config with
+      Cluster.nnodes;
+      buckets = items;
+      capacity = 2 * items;
+      server =
+        { Cluster.default_config.Cluster.server with Dps_server.Server.shed_threshold };
+    }
+  in
+  let c =
+    Cluster.create sched
+      ~on_set_applied:(fun ~node ~tag -> if tag <> 0 then Eo.apply eo ~opid:tag ~node)
+      cfg
+  in
+  Cluster.populate c ~keys:(Array.init items Fun.id) ~val_lines:1;
+  Cluster.start_probe c;
+  c
+
+let run_fleet sched cluster eo ~nclients ~duration =
+  let base = Netload.spec ~nclients ~nconns:4 ~set_pct:20 ~key_range:items () in
+  let rs = Netload.rspec ~base ~on_acked:(fun ~opid ~node -> Eo.ack eo ~opid ~node) () in
+  Netload.run_routed sched (Cluster.router cluster) rs ~duration
+    ~stop:(fun () -> Cluster.stop cluster)
+    ()
+
+let test_cluster_end_to_end () =
+  let s = mk () in
+  let eo = Eo.create () in
+  let c = mk_cluster s eo in
+  let rr = run_fleet s c eo ~nclients:128 ~duration:80_000 in
+  Alcotest.(check bool) "completed some ops" true (rr.Netload.agg.Netload.completed > 500);
+  Alcotest.(check int) "nothing abandoned" 0 rr.Netload.abandoned;
+  Alcotest.(check int) "all nodes stayed up" 4 (Cluster.nodes_up c);
+  Array.iteri
+    (fun n done_ ->
+      Alcotest.(check bool) (Printf.sprintf "node %d served" n) true (done_ > 0))
+    rr.Netload.per_node_completed;
+  let v = Eo.check eo ~node_dead:(Cluster.node_dead c) in
+  Alcotest.(check bool) (Format.asprintf "exactly-once: %a" Eo.pp_verdict v) true (Eo.ok v);
+  Alcotest.(check bool) "sets were acked" true (v.Eo.acked > 0)
+
+let test_cluster_deterministic () =
+  let run () =
+    let s = mk () in
+    let eo = Eo.create () in
+    let c = mk_cluster s eo in
+    let rr = run_fleet s c eo ~nclients:64 ~duration:60_000 in
+    [
+      rr.Netload.agg.Netload.issued;
+      rr.Netload.agg.Netload.completed;
+      rr.Netload.agg.Netload.p99;
+      rr.Netload.retries;
+    ]
+  in
+  Alcotest.(check (list int)) "identical replay" (run ()) (run ())
+
+let test_cluster_kill_failover () =
+  let s = mk () in
+  let eo = Eo.create () in
+  let c = mk_cluster s eo in
+  let faults = Dps_faults.install s ~seed:5L (Dps_faults.spec ()) in
+  let kill_at = 90_000 in
+  Cluster.schedule_kill c faults ~node:1 ~at:kill_at;
+  let rr = run_fleet s c eo ~nclients:128 ~duration:240_000 in
+  Alcotest.(check bool) "node 1 declared dead" true (Cluster.node_dead c 1);
+  Alcotest.(check int) "three survivors" 3 (Cluster.nodes_up c);
+  (match Cluster.failover_log c with
+  | [ (node, t) ] ->
+      Alcotest.(check int) "the dead node is node 1" 1 node;
+      let bound = (2 * Cluster.default_config.Cluster.probe_interval) + 40_000 in
+      Alcotest.(check bool)
+        (Printf.sprintf "declared within %d cycles (took %d)" bound (t - kill_at))
+        true
+        (t - kill_at <= bound)
+  | l -> Alcotest.failf "expected exactly one failover, got %d" (List.length l));
+  Alcotest.(check bool) "ring dropped the dead node" false (Ring.is_live (Cluster.ring c) 1);
+  Alcotest.(check bool) "ops rerouted to survivors" true (rr.Netload.rerouted > 0);
+  Alcotest.(check bool) "fleet kept completing after the kill" true
+    (rr.Netload.agg.Netload.completed > 1000);
+  let v = Eo.check eo ~node_dead:(Cluster.node_dead c) in
+  Alcotest.(check bool) (Format.asprintf "exactly-once: %a" Eo.pp_verdict v) true (Eo.ok v)
+
+let test_cluster_shed_busy () =
+  let s = mk () in
+  let eo = Eo.create () in
+  let c = mk_cluster s eo ~shed_threshold:1 in
+  (* several connections per poller, so a poller mid-service sees other
+     ready connections queued and the threshold trips *)
+  let base = Netload.spec ~nclients:512 ~nconns:32 ~set_pct:20 ~key_range:items () in
+  let rs = Netload.rspec ~base ~on_acked:(fun ~opid ~node -> Eo.ack eo ~opid ~node) () in
+  let rr =
+    Netload.run_routed s (Cluster.router c) rs ~duration:60_000
+      ~stop:(fun () -> Cluster.stop c)
+      ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "overload shed some requests (busy=%d)" rr.Netload.busy)
+    true (rr.Netload.busy > 0);
+  Alcotest.(check bool) "shed ops were retried to completion" true
+    (rr.Netload.agg.Netload.completed > 500);
+  let v = Eo.check eo ~node_dead:(Cluster.node_dead c) in
+  Alcotest.(check bool)
+    (Format.asprintf "no double-apply through busy retries: %a" Eo.pp_verdict v)
+    true (Eo.ok v)
+
+let suite =
+  [
+    ("ring coverage and determinism", `Quick, test_ring_coverage);
+    ("ring remove stability", `Quick, test_ring_remove_stability);
+    ("ring successor", `Quick, test_ring_successor);
+    ("cluster end to end", `Quick, test_cluster_end_to_end);
+    ("cluster deterministic replay", `Quick, test_cluster_deterministic);
+    ("node kill -> failover, exactly-once", `Quick, test_cluster_kill_failover);
+    ("overload sheds busy, retries safe", `Quick, test_cluster_shed_busy);
+  ]

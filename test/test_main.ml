@@ -17,6 +17,7 @@ let () =
       ("btree", Test_btree.suite);
       ("net", Test_net.suite);
       ("check", Test_check.suite);
+      ("cluster", Test_cluster.suite);
       ("batch", Test_batch.suite);
       ("obs", Test_obs.suite);
     ]

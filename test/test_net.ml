@@ -63,7 +63,7 @@ let roundtrip (type a) ~(encode : Buffer.t -> a -> unit)
   let rec drain () =
     match next d with
     | Wire.Need_more -> ()
-    | Wire.Bad msg -> Alcotest.failf "Bad on valid stream: %s" msg
+    | Wire.Bad { msg; _ } -> Alcotest.failf "Bad on valid stream: %s" msg
     | Wire.Item it ->
         decoded := it :: !decoded;
         drain ()
@@ -108,7 +108,7 @@ let test_truncation_safe () =
     let rec drain acc =
       match Wire.next_request d with
       | Wire.Need_more -> List.rev acc
-      | Wire.Bad msg -> Alcotest.failf "Bad at prefix %d: %s" cut msg
+      | Wire.Bad { msg; _ } -> Alcotest.failf "Bad at prefix %d: %s" cut msg
       | Wire.Item it -> drain (it :: acc)
     in
     let got = drain [] in
@@ -162,6 +162,95 @@ let test_malformed_rejected () =
   (match Wire.next_request d with
   | Wire.Item (Wire.Get [ "alive" ]) -> ()
   | _ -> Alcotest.fail "frame after Bad did not parse")
+
+let test_oversized_set_resync () =
+  (* A set announcing a payload over the codec limit answers SERVER_ERROR,
+     and the decoder swallows exactly the announced bytes — the stream
+     resynchronizes on the next command even when the payload arrives in
+     dribs and drabs. *)
+  let d = Wire.decoder () in
+  let n = (1 lsl 20) + 5 in
+  Wire.feed d (Printf.sprintf "set big 0 0 %d\r\n" n);
+  (match Wire.next_request d with
+  | Wire.Bad { reply = Wire.Server_error _; _ } -> ()
+  | Wire.Bad { reply = _; _ } -> Alcotest.fail "oversized set: wrong canned reply"
+  | _ -> Alcotest.fail "oversized set not rejected");
+  let remaining = ref (n + 2) in
+  while !remaining > 0 do
+    let chunk = min 65_536 !remaining in
+    Wire.feed d (String.make chunk 'x');
+    remaining := !remaining - chunk;
+    if !remaining > 0 then
+      match Wire.next_request d with
+      | Wire.Need_more -> ()
+      | _ -> Alcotest.fail "decoder produced a frame from skipped payload"
+  done;
+  Wire.feed d "get after\r\n";
+  (match Wire.next_request d with
+  | Wire.Item (Wire.Get [ "after" ]) -> ()
+  | _ -> Alcotest.fail "stream did not resynchronize after skipped payload");
+  Alcotest.(check int) "payload fully consumed" 0 (Wire.buffered d)
+
+let test_garbage_resync () =
+  (* Seeded garbage lines never raise, each answers Bad, and a valid frame
+     after the last CRLF still parses. *)
+  let p = Prng.create 909L in
+  for _round = 0 to 19 do
+    let d = Wire.decoder () in
+    let nlines = 1 + Prng.int p 4 in
+    for _ = 1 to nlines do
+      let len = 1 + Prng.int p 40 in
+      let line =
+        String.init len (fun _ ->
+            (* printable junk, no CR/LF inside the line *)
+            Char.chr (33 + Prng.int p 94))
+      in
+      Wire.feed d (line ^ "\r\n")
+    done;
+    let rec drain bads =
+      match Wire.next_request d with
+      | Wire.Need_more -> bads
+      | Wire.Bad _ -> drain (bads + 1)
+      | Wire.Item _ -> drain bads (* junk can collide with a verb; fine *)
+    in
+    ignore (drain 0);
+    Wire.feed d "get alive\r\n";
+    let rec settle () =
+      match Wire.next_request d with
+      | Wire.Item (Wire.Get [ "alive" ]) -> ()
+      | Wire.Bad _ -> settle ()
+      | _ -> Alcotest.fail "valid frame lost after garbage"
+    in
+    settle ()
+  done
+
+let test_truncated_multiget_response () =
+  (* A VALUE/END response cut anywhere is Need_more, never Bad, and the
+     reassembled stream parses to the original values. *)
+  let b = Buffer.create 256 in
+  Wire.encode_response b
+    (Wire.Values
+       [
+         { Wire.vkey = "a"; vflags = 0; vdata = "xxxx" };
+         { Wire.vkey = "bb"; vflags = 7; vdata = String.make 64 'y' };
+       ]);
+  let stream = Buffer.contents b in
+  for cut = 0 to String.length stream - 1 do
+    let d = Wire.decoder () in
+    Wire.feed d (String.sub stream 0 cut);
+    (match Wire.next_response d with
+    | Wire.Need_more -> ()
+    | Wire.Bad { msg; _ } -> Alcotest.failf "cut %d: Bad (%s)" cut msg
+    | Wire.Item _ -> Alcotest.failf "cut %d: full frame from a prefix" cut);
+    Wire.feed d (String.sub stream cut (String.length stream - cut));
+    match Wire.next_response d with
+    | Wire.Item
+        (Wire.Values
+          [ { Wire.vkey = "a"; vflags = 0; vdata = "xxxx" }; { Wire.vkey = "bb"; vflags = 7; vdata = v } ])
+      ->
+        Alcotest.(check int) "second value intact" 64 (String.length v)
+    | _ -> Alcotest.failf "cut %d: reassembled frame did not parse" cut
+  done
 
 let test_byteq () =
   let q = Byteq.create () in
@@ -294,7 +383,7 @@ let test_server_end_to_end () =
         let rec drain () =
           match Wire.next_response dec with
           | Wire.Need_more -> ()
-          | Wire.Bad msg -> Alcotest.failf "client got unparsable response: %s" msg
+          | Wire.Bad { msg; _ } -> Alcotest.failf "client got unparsable response: %s" msg
           | Wire.Item r ->
               responses := r :: !responses;
               drain ()
@@ -325,11 +414,12 @@ let test_server_end_to_end () =
         | Wire.Deleted -> "deleted"
         | Wire.Not_found -> "not_found"
         | Wire.Client_error _ -> "client_error"
+        | Wire.Error -> "error"
         | _ -> "other")
       rs
   in
   Alcotest.(check (list string)) "response sequence"
-    [ "values:2"; "stored"; "values:1"; "deleted"; "not_found"; "client_error"; "values:1" ]
+    [ "values:2"; "stored"; "values:1"; "deleted"; "not_found"; "error"; "values:1" ]
     shape;
   let st = Server.stats srv in
   Alcotest.(check int) "requests" 6 st.Server.requests;
@@ -369,6 +459,73 @@ let fleet_once ~seed ~self_healing =
   let r = Netload.run s net sp ~duration:60_000 ~stop:(fun () -> Server.stop srv) () in
   (r, (Server.stats srv).Server.requests, Sthread.now s, Net.local_fraction net)
 
+let test_connection_churn_soak () =
+  (* Thousands of connect/request/disconnect cycles through a tiny
+     connection limit: any leaked connection slot, ready-queue entry or
+     poller registration shows up as a refusal, a non-zero pending count,
+     or a hang (the scheduler would never quiesce). *)
+  let s = mk () in
+  let net = Net.create s () in
+  let backend = Variants.stock s ~nclients:4 ~buckets:128 ~capacity:256 in
+  backend.Variants.populate ~keys:[| 1 |] ~val_lines:1;
+  (* headroom over the loop count: a client close is processed by the
+     server one link delay later, so up to 2x[loops] can be counted at
+     once — but a real leak accumulates over the 2000 cycles and blows
+     through any fixed limit *)
+  let max_conns = 32 in
+  let srv =
+    Server.start s net ~backend { Server.default_config with npollers = 4; max_conns }
+  in
+  let loops = 8 in
+  let per_loop = 250 in
+  let completed = ref 0 and finished_loops = ref 0 in
+  let rec cycle loop k =
+    if k >= per_loop then begin
+      incr finished_loops;
+      (* grace before stop, so the final closes are serviced too *)
+      if !finished_loops = loops then
+        Sthread.at s ~time:(Sthread.now s + 20_000) (fun () -> Server.stop srv)
+    end
+    else begin
+      let dec = Wire.decoder () in
+      let conn = ref None in
+      let c =
+        Net.connect net
+          ~nic:(loop mod Net.nic_count net)
+          ~rx:(fun data ->
+            Wire.feed dec data;
+            match Wire.next_response dec with
+            | Wire.Item _ ->
+                incr completed;
+                (match !conn with
+                | Some c ->
+                    conn := None;
+                    Net.close net c;
+                    cycle loop (k + 1)
+                | None -> ())
+            | Wire.Need_more -> ()
+            | Wire.Bad { msg; _ } -> Alcotest.failf "soak: bad response: %s" msg)
+          ~on_refused:(fun () -> Alcotest.fail "soak: connection refused (slot leak?)")
+          ()
+      in
+      conn := Some c;
+      let b = Buffer.create 32 in
+      Wire.encode_request b (Wire.Get [ "1" ]);
+      Net.send net c (Buffer.contents b)
+    end
+  in
+  for loop = 0 to loops - 1 do
+    cycle loop 0
+  done;
+  Sthread.run s;
+  Alcotest.(check int) "every cycle completed" (loops * per_loop) !completed;
+  Alcotest.(check int) "accepted = churned connections" (loops * per_loop)
+    (Server.stats srv).Server.conns;
+  Alcotest.(check int) "no refusals through the churn" 0 (Net.stats net).Net.refused;
+  Alcotest.(check int) "every close released its slot" (loops * per_loop)
+    (Server.stats srv).Server.closed;
+  Alcotest.(check int) "no pending ready-queue entries" 0 (Server.pending_conns srv)
+
 let test_fleet_dps_deterministic () =
   let (r1, reqs1, end1, loc1) = fleet_once ~seed:7L ~self_healing:false in
   let (r2, reqs2, end2, loc2) = fleet_once ~seed:7L ~self_healing:false in
@@ -407,6 +564,9 @@ let suite =
     ("response round-trip under packetization", `Quick, test_response_roundtrip);
     ("truncation never misparses", `Quick, test_truncation_safe);
     ("malformed input rejected", `Quick, test_malformed_rejected);
+    ("oversized set resynchronizes", `Quick, test_oversized_set_resync);
+    ("garbage bytes resynchronize", `Quick, test_garbage_resync);
+    ("truncated multiget response", `Quick, test_truncated_multiget_response);
     ("byte queue", `Quick, test_byteq);
     ("link timing", `Quick, test_link_timing);
     ("backpressure", `Quick, test_backpressure);
@@ -414,6 +574,7 @@ let suite =
     ("refusal and unlisten", `Quick, test_refusal);
     ("server end to end", `Quick, test_server_end_to_end);
     ("server connection limit", `Quick, test_server_connection_limit);
+    ("connection churn soak", `Quick, test_connection_churn_soak);
     ("DPS fleet deterministic", `Quick, test_fleet_dps_deterministic);
     ("self-healing fleet", `Quick, test_fleet_self_healing_path);
     ("open-loop fleet", `Quick, test_fleet_open_loop);
