@@ -118,46 +118,69 @@ let pollers () =
     (Dps_simcore.Histogram.percentile with_poller 0.5)
     (Dps_simcore.Histogram.percentile with_poller 0.99)
 
-(* MCS vs NUMA-aware cohort lock on the contended r/w-object workload —
-   the related-work alternative (Dice et al.) to DPS's restructuring. *)
-let cohort_vs_mcs () =
-  print_header "Ablation: MCS vs cohort lock (64 objects x 8 lines, 80 threads)";
-  let run_lock mk_lock =
+(* The lock family on the contended r/w-object workload — the
+   related-work alternatives (Dice et al.) to DPS's restructuring, now
+   including CNA, the lock behind adaptive delegation's direct mode. Two
+   regimes bracket the adaptive controller's decision: [objects = 64]
+   keeps every lock contended (delegation's home turf), [objects = 4096]
+   makes collisions rare (where direct locking must hold its own). *)
+let lock_family () =
+  let run_lock ~objects mk_lock =
     let m = Dps_machine.Machine.create full_config in
     let sched = Sthread.create m in
     let alloc = Dps_sthread.Alloc.create m ~cold:Dps_sthread.Alloc.Spread in
-    let o = Dps_ds.Rw_object.create m Dps_machine.Machine.Interleave ~objects:64 ~lines:8 ~write_lines:8 in
-    let locks = Array.init 64 (fun _ -> mk_lock alloc m) in
+    let o =
+      Dps_ds.Rw_object.create m Dps_machine.Machine.Interleave ~objects ~lines:8 ~write_lines:8
+    in
+    let locks = Array.init objects (fun _ -> mk_lock alloc m) in
     Driver.measure ~sched ~threads:80 ~duration:default_duration
       ~op:(fun ~tid:_ ~step:_ ->
         let p = Sthread.self_prng () in
-        let i = Prng.int p 64 in
+        let i = Prng.int p objects in
         let acquire, release = locks.(i) in
         acquire ();
         Dps_ds.Rw_object.operate o i;
         release ())
       ()
   in
-  let mcs =
-    run_lock (fun alloc _ ->
-        let l = Dps_sync.Mcs.create alloc in
-        ((fun () -> Dps_sync.Mcs.acquire l), fun () -> Dps_sync.Mcs.release l))
+  let family =
+    [
+      ( "mcs",
+        fun alloc _ ->
+          let l = Dps_sync.Mcs.create alloc in
+          ((fun () -> Dps_sync.Mcs.acquire l), fun () -> Dps_sync.Mcs.release l) );
+      ( "ticket",
+        fun alloc _ ->
+          let l = Dps_sync.Ticket.create alloc in
+          ((fun () -> Dps_sync.Ticket.acquire l), fun () -> Dps_sync.Ticket.release l) );
+      ( "cohort",
+        fun alloc m ->
+          let l = Dps_sync.Cohort.create alloc m in
+          ((fun () -> Dps_sync.Cohort.acquire l), fun () -> Dps_sync.Cohort.release l) );
+      ( "cna",
+        fun alloc m ->
+          let l = Dps_sync.Cna.create alloc m in
+          ((fun () -> Dps_sync.Cna.acquire l), fun () -> Dps_sync.Cna.release l) );
+    ]
   in
-  let cohort =
-    run_lock (fun alloc m ->
-        let l = Dps_sync.Cohort.create alloc m in
-        ((fun () -> Dps_sync.Cohort.acquire l), fun () -> Dps_sync.Cohort.release l))
+  let regime ~objects ~tag =
+    print_header
+      (Printf.sprintf "Ablation: lock family, %s (%d objects x 8 lines, 80 threads)" tag objects);
+    Printf.printf "%-8s %12s %10s\n" "lock" "Mops/s" "p99";
+    List.iter
+      (fun (name, mk) ->
+        let r = run_lock ~objects mk in
+        Printf.printf "%-8s %12.3f %10d\n%!" name r.Driver.throughput_mops r.Driver.p99;
+        json_record ~series:("locks/" ^ tag) ~x:name
+          [ ("throughput_mops", r.Driver.throughput_mops); ("p99", float_of_int r.Driver.p99) ])
+      family
   in
-  Printf.printf "%-8s %12s %10s
-" "lock" "Mops/s" "p99";
-  Printf.printf "%-8s %12.3f %10d
-" "mcs" mcs.Driver.throughput_mops mcs.Driver.p99;
-  Printf.printf "%-8s %12.3f %10d
-%!" "cohort" cohort.Driver.throughput_mops cohort.Driver.p99
+  regime ~objects:64 ~tag:"contended";
+  regime ~objects:4096 ~tag:"sparse"
 
 let all () =
   locality_size ();
-  cohort_vs_mcs ();
+  lock_family ();
   check_budget ();
   ring_slots ();
   pollers ()

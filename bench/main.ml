@@ -31,6 +31,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("ablations", "DPS design-knob ablations", Fig_ablation.all);
     ("faults", "throughput under injected crashes/stalls", Fig_faults.all);
     ("batch", "request batching and adaptive polling on the DPS hot path", Fig_batch.all);
+    ("adapt", "adaptive delegation: drifting-skew phases + mode-flip exactly-once", Fig_adapt.all);
     ("cluster", "sharded multi-node serving with failover (stress matrix)", Fig_cluster.all);
     ("profile", "cycle attribution and observability zero-perturbation", Fig_profile.all);
     ("bechamel", "Bechamel kernels (one per figure)", Bechamel_suite.run);
@@ -59,12 +60,20 @@ let () =
         experiments;
       Printf.printf "\nAll experiments done in %.1fs\n" (Unix.gettimeofday () -. t0)
   | names ->
+      (* validate the whole selection up front: one typo in a long list
+         should not cost the experiments queued before it *)
+      (match
+         List.filter (fun n -> not (List.exists (fun (n', _, _) -> n' = n) experiments)) names
+       with
+      | [] -> ()
+      | unknown ->
+          Printf.printf "unknown experiment%s: %s\n"
+            (if List.length unknown > 1 then "s" else "")
+            (String.concat ", " (List.map (Printf.sprintf "%S") unknown));
+          usage ();
+          exit 1);
       List.iter
         (fun name ->
-          match List.find_opt (fun (n, _, _) -> n = name) experiments with
-          | Some (_, _, f) -> with_json name f ()
-          | None ->
-              Printf.printf "unknown experiment %S\n" name;
-              usage ();
-              exit 1)
+          let _, _, f = List.find (fun (n, _, _) -> n = name) experiments in
+          with_json name f ())
         names

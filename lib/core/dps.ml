@@ -4,6 +4,7 @@ module Sthread = Dps_sthread.Sthread
 module Simops = Dps_sthread.Simops
 module Alloc = Dps_sthread.Alloc
 module Spinlock = Dps_sync.Spinlock
+module Cna = Dps_sync.Cna
 module Obs = Dps_obs.Obs
 
 let obs_span = Sthread.obs_span
@@ -19,6 +20,12 @@ let failpoint_skip_completion_fence = ref false
    batch silently drops its last asynchronous operation — the accounting
    oracle must catch the lost update. *)
 let failpoint_drop_batch_flush = ref false
+
+(* Test-only mutation (lib/check self-test): when set, a mode transition's
+   drain phase abandons the in-flight ring slots instead of serving them —
+   awaited entries are declared lost, fire-and-forget entries silently
+   vanish. The accounting oracle must catch the lost updates. *)
+let failpoint_stuck_transition = ref false
 
 (* A message line carries the header word (toggle, count, claim) plus up to
    seven 8-byte operation descriptors, so a batch still moves as exactly one
@@ -79,6 +86,9 @@ and remote = {
       (* async trace-span id following this delegation across threads
          (issue -> sent -> dispatch -> completion pickup); 0 when tracing
          was off at issue, and cleared once the completion is observed *)
+  mutable issued_at : int;
+      (* issue time, the adaptive controller's issue->done latency signal;
+         -1 when adaptation is off or once the latency has been recorded *)
 }
 
 (* Hierarchical aggregation (the batching analogue of the paper's §4.2
@@ -98,14 +108,6 @@ and stage = {
 
 type completion = Local of int | Remote of remote
 
-(* Close a delegation's async span exactly once, at the observation that
-   hands the completion value back to the caller. *)
-let obs_op_done (r : remote) =
-  if r.obs_id <> 0 then begin
-    Obs.async_end ~id:r.obs_id ~now:(Sthread.time ()) "dps.op";
-    r.obs_id <- 0
-  end
-
 (* A ring of messages for one (client, partition) pair, allocated on the
    partition's NUMA node. The client owns [send_idx], the serving peer owns
    [recv_idx]; the toggle bit replaces head/tail comparison. [lock] is only
@@ -119,6 +121,12 @@ type ring = {
   mutable recv_idx : int;
   mutable last_served : int;
   rlock : Spinlock.t option;
+  (* published-but-unserved count: an occupancy hint (host metadata, like
+     [pending]) that lets mode transitions and direct holders skip the
+     charged lock probe on rings that are empty anyway — the analogue of a
+     per-ring occupancy byte a real implementation would co-locate with
+     the partition's metadata *)
+  mutable rpending : int;
 }
 
 type 'a partition = { info : partition_info; data : 'a; rings : ring array (* per client *) }
@@ -137,6 +145,16 @@ type client = {
   mutable cstate : cstate;
   mutable flushing : bool;  (* re-entrancy guard: flush → serve → flush *)
 }
+
+(* Per-partition access mode (adaptive delegation). [Delegated] is the
+   paper's ring protocol; [Direct] has remote clients bypass the rings and
+   serialize on the partition's CNA lock; [Draining] is the transition
+   window — clients already route direct (and help drain) while the
+   controller retires the published ring backlog. The host-side [modes]
+   array is the truth (single writer: the controller); the charged
+   [mode_addr] line models the read-mostly mode word clients re-check on
+   every remote issue. *)
+type mode = Delegated | Draining | Direct
 
 type health = {
   pending_depth : int array;  (** per partition: delegations queued, unserved *)
@@ -190,6 +208,20 @@ type 'a t = {
   mutable n_lock_breaks : int;
   takeovers_pid : int array;  (* per partition: foreign serves of its rings *)
   lock_breaks_pid : int array;  (* per partition: locks reclaimed from dead holders *)
+  (* adaptive delegation (all unused — and unallocated — when [adaptive]
+     is false, so the static protocol stays bit-identical) *)
+  adaptive : bool;
+  modes : mode array;
+  mode_addr : int array;  (* per partition: the charged mode word *)
+  mutable dlocks : Cna.t array;  (* per partition: the direct-mode CNA lock *)
+  mutable n_direct : int;
+  mutable n_to_direct : int;
+  mutable n_to_delegated : int;
+  direct_pid : int array;  (* per partition: ops run via the direct path *)
+  remote_pid : int array;  (* per partition: remote ops issued (any mode) *)
+  flips_pid : int array;  (* per partition: mode transitions *)
+  lat_sum_pid : int array;  (* per partition: sum of issue->done latencies *)
+  lat_cnt_pid : int array;  (* per partition: completed remote ops measured *)
 }
 
 let npartitions t = Array.length t.partitions
@@ -205,6 +237,52 @@ let client_hw t i = t.placement.(i)
 let delegated_ops t = t.n_delegated
 let local_ops t = t.n_local
 let batch_flushes t = t.n_flushes
+let direct_ops t = t.n_direct
+let mode t ~pid = t.modes.(pid)
+let mode_flips t = (t.n_to_direct, t.n_to_delegated)
+let active t = t.remaining > 0
+
+(* Host-side controller inputs, uncharged (like [health]): the controller
+   samples them at its epoch and diffs against the previous sample. *)
+type signal = {
+  s_mode : mode;
+  s_pending : int;  (** delegations queued in the rings right now *)
+  s_remote_ops : int;  (** remote ops issued at this partition, cumulative *)
+  s_direct_ops : int;  (** ops run via the direct path, cumulative *)
+  s_lat_sum : int;  (** summed issue->done latency, cumulative *)
+  s_lat_cnt : int;  (** remote completions measured, cumulative *)
+}
+
+let signals t ~pid =
+  {
+    s_mode = t.modes.(pid);
+    s_pending = t.pending.(pid);
+    s_remote_ops = t.remote_pid.(pid);
+    s_direct_ops = t.direct_pid.(pid);
+    s_lat_sum = t.lat_sum_pid.(pid);
+    s_lat_cnt = t.lat_cnt_pid.(pid);
+  }
+
+(* The charged re-read of the mode word on a remote issue. Only reached
+   when [t.adaptive]: the line is read-mostly and stays shared until a
+   controller flip invalidates it, so steady state costs one hot read. *)
+let current_mode t pid =
+  Simops.read t.mode_addr.(pid);
+  t.modes.(pid)
+
+(* Close a delegation's async span exactly once, at the observation that
+   hands the completion value back to the caller; feed the issue->done
+   latency into the controller's per-partition signal. *)
+let obs_op_done t (r : remote) =
+  if r.obs_id <> 0 then begin
+    Obs.async_end ~id:r.obs_id ~now:(Sthread.time ()) "dps.op";
+    r.obs_id <- 0
+  end;
+  if r.issued_at >= 0 then begin
+    t.lat_sum_pid.(r.pid) <- t.lat_sum_pid.(r.pid) + (Sthread.time () - r.issued_at);
+    t.lat_cnt_pid.(r.pid) <- t.lat_cnt_pid.(r.pid) + 1;
+    r.issued_at <- -1
+  end
 
 let health t =
   let now = Sthread.now t.sched in
@@ -302,8 +380,11 @@ let handle_exit t sid =
 let create sched ~nclients ~locality_size ~hash ?ns_sz ?(ring_slots = 16) ?(check_budget = 4)
     ?(marshal_cost = 100) ?(dispatch_cost = 250) ?(dedicated_pollers = false)
     ?(self_healing = false) ?(await_timeout = 50_000) ?(batch = 1) ?(batch_age = 1500)
-    ?placement ~mk_data () =
+    ?(adaptive = false) ?(direct = false) ?placement ~mk_data () =
   assert (nclients > 0 && locality_size > 0);
+  (* [direct] starts every partition in direct mode (the static-CNA
+     baseline); it needs the adaptive machinery even with no controller *)
+  let adaptive = adaptive || direct in
   let batch = max 1 (min batch max_batch) in
   let m = Sthread.machine sched in
   let topo = Machine.topology m in
@@ -333,11 +414,18 @@ let create sched ~nclients ~locality_size ~hash ?ns_sz ?(ring_slots = 16) ?(chec
         }
       in
       let rlock =
-        if dedicated_pollers || self_healing then
+        if dedicated_pollers || self_healing || adaptive then
           Some (Spinlock.embed ~addr:(Machine.alloc m (Machine.On_node node) ~lines:1))
         else None
       in
-      { slots = Array.init ring_slots mk_slot; send_idx = 0; recv_idx = 0; last_served = 0; rlock }
+      {
+        slots = Array.init ring_slots mk_slot;
+        send_idx = 0;
+        recv_idx = 0;
+        last_served = 0;
+        rlock;
+        rpending = 0;
+      }
     in
     { info; data = mk_data info; rings = Array.init nclients mk_ring }
   in
@@ -392,8 +480,30 @@ let create sched ~nclients ~locality_size ~hash ?ns_sz ?(ring_slots = 16) ?(chec
       n_lock_breaks = 0;
       takeovers_pid = Array.make nparts 0;
       lock_breaks_pid = Array.make nparts 0;
+      adaptive;
+      modes = Array.make nparts (if direct then Direct else Delegated);
+      mode_addr = Array.make nparts 0;
+      dlocks = [||];
+      n_direct = 0;
+      n_to_direct = 0;
+      n_to_delegated = 0;
+      direct_pid = Array.make nparts 0;
+      remote_pid = Array.make nparts 0;
+      flips_pid = Array.make nparts 0;
+      lat_sum_pid = Array.make nparts 0;
+      lat_cnt_pid = Array.make nparts 0;
     }
   in
+  (* adaptive-only allocations come strictly last, after every static
+     structure, so the static address layout (and thus cycle accounting)
+     is bit-identical with adaptation off *)
+  if adaptive then begin
+    Array.iteri
+      (fun pid p ->
+        t.mode_addr.(pid) <- Machine.alloc m (Machine.On_node p.info.node) ~lines:1)
+      t.partitions;
+    t.dlocks <- Array.map (fun p -> Cna.create p.info.alloc m) t.partitions
+  end;
   Sthread.on_exit sched (handle_exit t);
   t
 
@@ -503,12 +613,17 @@ let serve_slots t ~pid ring ~budget =
           done;
           slot.claim <- -1;
           slot.toggle <- false;
-          if !failpoint_skip_completion_fence then Simops.write slot.maddr
-          else Simops.write_release slot.maddr;
+          (* retire bookkeeping lands in the same atomic block as the
+             toggle clear, before the ack's charge: a server killed at the
+             store must not leave a cleared slot still counted — that
+             count would never drain *)
           ring.recv_idx <- ring.recv_idx + 1;
           ring.last_served <- Sthread.time ();
           t.last_served.(pid) <- ring.last_served;
-          t.pending.(pid) <- t.pending.(pid) - n)
+          ring.rpending <- ring.rpending - n;
+          t.pending.(pid) <- t.pending.(pid) - n;
+          if !failpoint_skip_completion_fence then Simops.write slot.maddr
+          else Simops.write_release slot.maddr)
     end
   done;
   !served
@@ -527,6 +642,31 @@ let serve_ring t ~pid ring ~budget =
     served
   end
 
+(* Forcibly serve one ring: wait out a live lock holder up to [patience],
+   break the lock of a dead one. The per-ring step behind takeover. *)
+let takeover_ring t pid ring =
+  match ring.rlock with
+  | None -> 0
+  | Some l ->
+      let patience = max 512 (t.await_timeout / 16) in
+      let got =
+        Spinlock.acquire_for l ~budget:patience
+        ||
+        match Spinlock.owner l with
+        | Some holder when holder >= 0 && Hashtbl.mem t.dead_tids holder ->
+            Spinlock.break_lock l;
+            t.n_lock_breaks <- t.n_lock_breaks + 1;
+            t.lock_breaks_pid.(pid) <- t.lock_breaks_pid.(pid) + 1;
+            Spinlock.try_acquire l
+        | _ -> false
+      in
+      if got then begin
+        let served = serve_slots t ~pid ring ~budget:max_int in
+        Spinlock.release l;
+        served
+      end
+      else 0
+
 (* Takeover (§4.4 under faults): serve *every* ring of partition [pid]
    ourselves, like a dedicated poller would — used by a sender whose
    delegation has stalled past its timeout, so a dead peer's share (or a
@@ -535,29 +675,8 @@ let serve_ring t ~pid ring ~budget =
 let takeover_serve t pid =
   obs_span ~args:[ ("pid", Obs.A_int pid) ] "dps.takeover" (fun () ->
   let p = t.partitions.(pid) in
-  let patience = max 512 (t.await_timeout / 16) in
   let served = ref 0 in
-  Array.iter
-    (fun ring ->
-      match ring.rlock with
-      | None -> ()
-      | Some l ->
-          let got =
-            Spinlock.acquire_for l ~budget:patience
-            ||
-            match Spinlock.owner l with
-            | Some holder when holder >= 0 && Hashtbl.mem t.dead_tids holder ->
-                Spinlock.break_lock l;
-                t.n_lock_breaks <- t.n_lock_breaks + 1;
-                t.lock_breaks_pid.(pid) <- t.lock_breaks_pid.(pid) + 1;
-                Spinlock.try_acquire l
-            | _ -> false
-          in
-          if got then begin
-            served := !served + serve_slots t ~pid ring ~budget:max_int;
-            Spinlock.release l
-          end)
-    p.rings;
+  Array.iter (fun ring -> served := !served + takeover_ring t pid ring) p.rings;
   if !served > 0 then begin
     t.n_takeovers <- t.n_takeovers + 1;
     t.takeovers_pid.(pid) <- t.takeovers_pid.(pid) + 1
@@ -571,6 +690,167 @@ let run_local t pid op =
          overhead this causes for small update ratios) *)
       Simops.work (t.dispatch_cost / 4);
       op t.partitions.(pid).data)
+
+(* Direct mode: bypass the rings and serialize on the partition's CNA
+   lock. The holder first drains any delegated remnants still queued in
+   the rings (ops published before — or racing — a mode flip, and staged
+   batches that aged out after it), so no delegation is ever stranded
+   behind the flip.
+
+   Acquisition is bounded-patience, never blocking: a client probes the
+   lock a few times with backoff and, if it stays busy, returns [None].
+   Committing to an unbounded queue wait would be unsafe across a mode
+   flip — waiters stranded in the lock queue when the partition turns
+   delegated again would serialize a convoy no flip can dissolve. On
+   [None], synchronous callers spin-retry with a mode re-read between
+   attempts (so a flip redirects them at once), while fire-and-forget
+   callers fall back to the ring path, which stays live in direct mode:
+   holders combine the ring backlog before their own op, and the flip
+   protocol / final drain sweep retire whatever remains. *)
+let direct_attempts = 4
+
+let try_run_direct t pid op =
+  obs_span ~args:[ ("pid", Obs.A_int pid) ] "dps.direct" (fun () ->
+      let rec attempt n =
+        if Cna.try_acquire t.dlocks.(pid) then begin
+          if t.pending.(pid) > 0 then
+            Array.iter
+              (fun ring ->
+                if ring.rpending > 0 then ignore (serve_ring t ~pid ring ~budget:max_int))
+              t.partitions.(pid).rings;
+          Simops.work (t.dispatch_cost / 4);
+          let v = op t.partitions.(pid).data in
+          t.n_direct <- t.n_direct + 1;
+          t.direct_pid.(pid) <- t.direct_pid.(pid) + 1;
+          Cna.release t.dlocks.(pid);
+          Some v
+        end
+        else begin
+          (* a holder that crashed inside its critical section would
+             otherwise wedge the partition in direct mode forever:
+             try_acquire only ever wins an empty queue *)
+          (match Cna.owner t.dlocks.(pid) with
+          | Some h when h >= 0 && Hashtbl.mem t.dead_tids h ->
+              Cna.break_lock t.dlocks.(pid);
+              t.n_lock_breaks <- t.n_lock_breaks + 1;
+              t.lock_breaks_pid.(pid) <- t.lock_breaks_pid.(pid) + 1
+          | _ -> ());
+          if n >= direct_attempts then None
+          else begin
+            Simops.work (64 * n);
+            attempt (n + 1)
+          end
+        end
+      in
+      attempt 1)
+
+(* Discard instead of drain (the [failpoint_stuck_transition] mutation):
+   abandon the in-flight ring slots. Awaited entries are declared lost so
+   their senders re-issue; fire-and-forget entries simply vanish — the
+   accounting oracle must catch the lost updates. *)
+let discard_rings t pid =
+  Array.iter
+    (fun ring ->
+      Array.iter
+        (fun slot ->
+          if slot.toggle then begin
+            let n = slot.count in
+            for i = 0 to n - 1 do
+              let e = slot.entries.(i) in
+              (match e.ecell with
+              | Some r ->
+                  r.state <- Lost;
+                  r.fresh <- Some slot
+              | None -> ());
+              e.eop <- None;
+              e.ecell <- None;
+              e.edone <- false;
+              e.ecancelled <- false
+            done;
+            slot.claim <- -1;
+            slot.toggle <- false;
+            ring.recv_idx <- ring.recv_idx + 1;
+            ring.rpending <- ring.rpending - n;
+            t.pending.(pid) <- t.pending.(pid) - n;
+            Simops.write_release slot.maddr
+          end)
+        ring.slots)
+    t.partitions.(pid).rings
+
+(* Retire every published delegation from [pid]'s rings. Runs with the
+   partition already marked [Draining], so clients that re-read the mode
+   word route new work through the CNA lock (and help drain) while the
+   controller clears the backlog. Slots claimed by a live server are left
+   to it; rings wedged behind a dead holder's lock fall back to takeover,
+   which breaks the lock. *)
+let quiesce t pid =
+  if !failpoint_stuck_transition then discard_rings t pid
+  else begin
+    let stalls = ref 0 in
+    while t.pending.(pid) > 0 do
+      let served = ref 0 in
+      (* the occupancy hint keeps the drain proportional to the rings that
+         actually hold work — probing all N ring locks with charged RMWs
+         would cost more than the backlog itself on a sparse partition *)
+      Array.iter
+        (fun ring ->
+          if ring.rpending > 0 then
+            served := !served + serve_ring t ~pid ring ~budget:max_int)
+        t.partitions.(pid).rings;
+      if !served > 0 then stalls := 0
+      else begin
+        incr stalls;
+        if !stalls >= 8 then begin
+          (* force the occupied rings only: waiting out (or breaking) all
+             N ring locks would stall the controller for tens of thousands
+             of cycles per pass *)
+          Array.iter
+            (fun ring -> if ring.rpending > 0 then ignore (takeover_ring t pid ring))
+            t.partitions.(pid).rings;
+          stalls := 0
+        end
+        else Simops.work 128
+      end
+    done
+  end
+
+let note_flip t pid m =
+  t.flips_pid.(pid) <- t.flips_pid.(pid) + 1;
+  (match m with
+  | Direct -> t.n_to_direct <- t.n_to_direct + 1
+  | Delegated | Draining -> t.n_to_delegated <- t.n_to_delegated + 1);
+  if Obs.tracing_on () then
+    Obs.instant ~tid:(Sthread.self_id ())
+      ~now:(Sthread.time ())
+      ~args:
+        [
+          ("pid", Obs.A_int pid);
+          ("mode", Obs.A_str (match m with Direct -> "direct" | _ -> "delegated"));
+        ]
+      "dps.mode_flip"
+
+(* Online mode transition, controller side. The mode word has a single
+   writer (the controller); clients re-read it on every remote issue.
+   Delegated -> Direct goes through [Draining]: clients switch to the CNA
+   path at once while the controller retires the published backlog, so
+   exactly-once and ring order survive the flip. Direct -> Delegated
+   needs no drain: a direct holder finishes its op under the lock and new
+   work simply queues in the rings again. *)
+let set_mode t ~pid target =
+  if not t.adaptive then invalid_arg "Dps.set_mode: create with ~adaptive:true";
+  match (t.modes.(pid), target) with
+  | (Delegated | Draining), `Direct ->
+      t.modes.(pid) <- Draining;
+      Simops.write_release t.mode_addr.(pid);
+      quiesce t pid;
+      t.modes.(pid) <- Direct;
+      Simops.write_release t.mode_addr.(pid);
+      note_flip t pid Direct
+  | (Direct | Draining), `Delegated ->
+      t.modes.(pid) <- Delegated;
+      Simops.write_release t.mode_addr.(pid);
+      note_flip t pid Delegated
+  | Direct, `Direct | Delegated, `Delegated -> ()
 
 (* Claim a free slot in this client's ring to [pid], serving own duties
    while the ring is full. Under self-healing, a ring stuck full past the
@@ -586,6 +866,10 @@ let rec claim_slot t cl pid =
     if slot.toggle then begin
       (* ring full: overlap with serving (§4.3) *)
       if serve_as t cl ~max:t.check_budget = 0 then Simops.work 64;
+      (* a full ring on a partition that flipped to direct mode may have
+         nobody left serving it — it is our own ring, so drain it ourselves *)
+      if t.adaptive && t.modes.(pid) <> Delegated then
+        ignore (serve_ring t ~pid ring ~budget:max_int);
       if t.self_healing && Sthread.time () > !deadline then begin
         ignore (takeover_serve t pid);
         deadline := Sthread.time () + t.await_timeout
@@ -641,10 +925,15 @@ and flush_stage t cl stage =
         stage.sn <- 0;
         slot.count <- n;
         slot.toggle <- true;
-        Simops.write_release slot.maddr;
+        (* as in [send_direct]: count the publish atomically with the
+           toggle, so a sender killed at the store leaves no uncounted
+           published slot behind *)
         t.n_delegated <- t.n_delegated + n;
         t.n_flushes <- t.n_flushes + 1;
+        t.partitions.(pid).rings.(cl.tid).rpending <-
+          t.partitions.(pid).rings.(cl.tid).rpending + n;
         t.pending.(pid) <- t.pending.(pid) + n;
+        Simops.write_release slot.maddr;
         cl.flushing <- false)
 
 (* Flush every staged batch whose oldest operation is older than
@@ -704,9 +993,14 @@ let send_direct t cl pid fop cell =
   | None -> ());
   slot.count <- 1;
   slot.toggle <- true;
-  Simops.write_release slot.maddr;
+  (* publish bookkeeping in the same atomic block as the toggle, before
+     the charge: a sender killed at the store must not leave a published
+     slot uncounted — its retire would drive the counts negative *)
   t.n_delegated <- t.n_delegated + 1;
-  t.pending.(pid) <- t.pending.(pid) + 1
+  t.partitions.(pid).rings.(cl.tid).rpending <-
+    t.partitions.(pid).rings.(cl.tid).rpending + 1;
+  t.pending.(pid) <- t.pending.(pid) + 1;
+  Simops.write_release slot.maddr
 
 (* Coalescing send: marshal into the thread-private staging line; the
    batch publishes when full or aged. *)
@@ -737,7 +1031,14 @@ let issue t cl pid fop cell =
    every handle to it observes the retry. *)
 let remote_issue t op ~pid0 ~route =
   let r =
-    { state = Lost; pid = pid0; fresh = None; reissue = (fun () -> ()); obs_id = Obs.next_id () }
+    {
+      state = Lost;
+      pid = pid0;
+      fresh = None;
+      reissue = (fun () -> ());
+      obs_id = Obs.next_id ();
+      issued_at = (if t.adaptive then Sthread.time () else -1);
+    }
   in
   if r.obs_id <> 0 then
     Obs.async_begin ~id:r.obs_id
@@ -748,6 +1049,22 @@ let remote_issue t op ~pid0 ~route =
     r.pid <- pid;
     let cl = me t in
     if pid = cl.my_pid then r.state <- Done (run_local t pid op)
+    else if t.adaptive then begin
+      t.remote_pid.(pid) <- t.remote_pid.(pid) + 1;
+      let rec direct_or_delegate backoff =
+        if current_mode t pid <> Delegated then
+          match try_run_direct t pid op with
+          | Some v -> r.state <- Done v
+          | None ->
+              (* lock busy past patience: back off and re-read the mode —
+                 an uncommitted spin a concurrent flip can always redirect,
+                 unlike a position in the lock's waiter queue *)
+              Simops.work backoff;
+              direct_or_delegate (min 1024 (backoff * 2))
+        else issue t cl pid (fun () -> op t.partitions.(pid).data) (Some r)
+      in
+      direct_or_delegate 128
+    end
     else issue t cl pid (fun () -> op t.partitions.(pid).data) (Some r)
   in
   r.reissue <- (fun () -> go (route ()));
@@ -813,7 +1130,7 @@ let try_await t completion =
       match r.state with
       | Done v ->
           pickup ();
-          obs_op_done r;
+          obs_op_done t r;
           Some v
       | Lost ->
           (* the server crashed with our operation: re-route and re-send *)
@@ -821,7 +1138,7 @@ let try_await t completion =
           reissue ();
           (match r.state with
           | Done v ->
-              obs_op_done r;
+              obs_op_done t r;
               Some v
           | _ -> None)
       | Staged stage ->
@@ -833,17 +1150,26 @@ let try_await t completion =
           r.fresh <- None;
           match r.state with
           | Done v ->
-              obs_op_done r;
+              obs_op_done t r;
               Some v
           | Lost ->
               reissue ();
               (match r.state with
               | Done v ->
-                  obs_op_done r;
+                  obs_op_done t r;
                   Some v
               | _ -> None)
           | _ ->
-              ignore (serve t ~max:t.check_budget);
+              if t.adaptive && t.modes.(r.pid) <> Delegated then
+                (* the partition flipped under our published op: nobody may
+                   serve its rings any more — drain our own ring, the one
+                   that holds it (contention means the controller or a
+                   direct holder is already on it) *)
+                ignore
+                  (serve_ring t ~pid:r.pid
+                     t.partitions.(r.pid).rings.((me t).tid)
+                     ~budget:max_int)
+              else ignore (serve t ~max:t.check_budget);
               None))
 
 let await t completion =
@@ -875,7 +1201,7 @@ let await t completion =
         match r.state with
         | Done v ->
             pickup ();
-            obs_op_done r;
+            obs_op_done t r;
             v
         | Lost ->
             pickup ();
@@ -893,7 +1219,7 @@ let await t completion =
         r.fresh <- None;
         match r.state with
         | Done v ->
-            obs_op_done r;
+            obs_op_done t r;
             v
         | Lost ->
             reissue_now ();
@@ -901,6 +1227,19 @@ let await t completion =
         | Staged _ -> spin ()
         | Flushed _ ->
             if serve_as t cl ~max:t.check_budget > 0 then begin
+              pause := 32;
+              poll slot i
+            end
+            else if
+              t.adaptive
+              && t.modes.(r.pid) <> Delegated
+              && serve_ring t ~pid:r.pid t.partitions.(r.pid).rings.(cl.tid) ~budget:max_int
+                 > 0
+            then begin
+              (* the partition flipped under our published op: nobody may
+                 serve its rings any more — drain our own ring, the one that
+                 holds it; zero served means the controller or a direct
+                 holder has it, so fall through and back off *)
               pause := 32;
               poll slot i
             end
@@ -929,6 +1268,15 @@ let execute_async t ~key op =
   let cl = me t in
   let pid = partition_of_key t key in
   if pid = cl.my_pid then ignore (run_local t pid op)
+  else if t.adaptive then begin
+    t.remote_pid.(pid) <- t.remote_pid.(pid) + 1;
+    if current_mode t pid <> Delegated then begin
+      match try_run_direct t pid op with
+      | Some _ -> ()
+      | None -> issue t cl pid (fun () -> op t.partitions.(pid).data) None
+    end
+    else issue t cl pid (fun () -> op t.partitions.(pid).data) None
+  end
   else issue t cl pid (fun () -> op t.partitions.(pid).data) None
 
 let execute_local t ~key op =
@@ -960,6 +1308,15 @@ let call_on t ~pid op = await t (execute_on t ~pid op)
 let execute_async_on t ~pid op =
   let cl = me t in
   if pid = cl.my_pid then ignore (run_local t pid op)
+  else if t.adaptive then begin
+    t.remote_pid.(pid) <- t.remote_pid.(pid) + 1;
+    if current_mode t pid <> Delegated then begin
+      match try_run_direct t pid op with
+      | Some _ -> ()
+      | None -> issue t cl pid (fun () -> op t.partitions.(pid).data) None
+    end
+    else issue t cl pid (fun () -> op t.partitions.(pid).data) None
+  end
   else issue t cl pid (fun () -> op t.partitions.(pid).data) None
 
 let range t op ~merge =
@@ -1072,7 +1429,15 @@ let drain t =
      requests still sitting in this peer's share of the rings. *)
   while serve_as t cl ~max:max_int > 0 do
     ()
-  done
+  done;
+  (* partitions that ended the run in direct mode may hold remnants no
+     regular server will ever visit *)
+  if t.adaptive then
+    for pid = 0 to npartitions t - 1 do
+      while t.pending.(pid) > 0 && not t.dead.(pid) do
+        if takeover_serve t pid = 0 then Simops.work 128
+      done
+    done
 
 let register_obs ?(labels = []) t reg =
   let module R = Dps_obs.Registry in
@@ -1091,6 +1456,14 @@ let register_obs ?(labels = []) t reg =
       float_of_int t.n_crashes);
   g "lock_breaks" "ring locks reclaimed from dead holders" (fun () ->
       float_of_int t.n_lock_breaks);
+  if t.adaptive then begin
+    g "direct_ops" "operations run via the direct CNA path" (fun () ->
+        float_of_int t.n_direct);
+    g "mode_flips_to_direct" "partitions migrated delegated -> direct" (fun () ->
+        float_of_int t.n_to_direct);
+    g "mode_flips_to_delegated" "partitions migrated direct -> delegated" (fun () ->
+        float_of_int t.n_to_delegated)
+  end;
   Array.iter
     (fun p ->
       let pid = p.info.pid in
@@ -1108,5 +1481,14 @@ let register_obs ?(labels = []) t reg =
       R.gauge_fn reg ~labels ~help:"foreign serves of this partition's rings"
         "dps.takeovers_p" (fun () -> float_of_int t.takeovers_pid.(pid));
       R.gauge_fn reg ~labels ~help:"ring locks of this partition reclaimed from dead holders"
-        "dps.lock_breaks_p" (fun () -> float_of_int t.lock_breaks_pid.(pid)))
+        "dps.lock_breaks_p" (fun () -> float_of_int t.lock_breaks_pid.(pid));
+      if t.adaptive then begin
+        R.gauge_fn reg ~labels ~help:"partition mode (0 delegated, 1 draining, 2 direct)"
+          "dps.mode" (fun () ->
+            match t.modes.(pid) with Delegated -> 0.0 | Draining -> 1.0 | Direct -> 2.0);
+        R.gauge_fn reg ~labels ~help:"mode transitions of this partition" "dps.mode_flips_p"
+          (fun () -> float_of_int t.flips_pid.(pid));
+        R.gauge_fn reg ~labels ~help:"operations run via the direct path on this partition"
+          "dps.direct_ops_p" (fun () -> float_of_int t.direct_pid.(pid))
+      end)
     t.partitions

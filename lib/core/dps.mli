@@ -27,6 +27,13 @@ val failpoint_drop_batch_flush : bool ref
     checker's accounting oracle must catch the lost update. Default
     [false]. *)
 
+val failpoint_stuck_transition : bool ref
+(** Test-only mutation for the lib/check self-test: when set, a mode
+    transition's drain phase abandons the partition's in-flight ring slots
+    instead of serving them (awaited entries are declared lost,
+    fire-and-forget entries vanish), so the checker's accounting oracle
+    must catch the lost updates. Default [false]. *)
+
 type partition_info = {
   pid : int;  (** partition index *)
   node : int;  (** NUMA node the partition is bound to *)
@@ -48,6 +55,8 @@ val create :
   ?await_timeout:int ->
   ?batch:int ->
   ?batch_age:int ->
+  ?adaptive:bool ->
+  ?direct:bool ->
   ?placement:int array ->
   mk_data:(partition_info -> 'a) ->
   unit ->
@@ -93,7 +102,18 @@ val create :
     operations, at {!client_done}/{!detach}/{!drain}, or explicitly via
     {!flush_pending} — so coalescing bounds, never breaks, latency and
     ordering. With [batch = 1] the protocol is byte-identical to the
-    unbatched one-op-per-line scheme. *)
+    unbatched one-op-per-line scheme.
+
+    [adaptive] (default false) arms per-partition mode switching (and
+    implies the per-ring locks): each partition carries a mode word that
+    remote issues re-read, and {!set_mode} migrates it online between
+    delegated mode (the ring protocol above) and {e direct} mode, where
+    remote clients bypass the rings and serialize on a per-partition
+    CNA lock ({!Dps_sync.Cna}) — the trade the paper freezes at create
+    time, made dynamic. With [adaptive = false] the protocol, address
+    layout and cycle accounting are bit-identical to previous behaviour.
+    [direct] (default false, implies [adaptive]) starts every partition in
+    direct mode — the static direct-locking baseline. *)
 
 val npartitions : 'a t -> int
 
@@ -216,6 +236,55 @@ val batch_flushes : 'a t -> int
 (** Number of batched messages published so far; [delegated_ops /
     batch_flushes] is the achieved coalescing factor. Always 0 with
     [batch = 1] (the unbatched path does not count). *)
+
+(** {1 Adaptive delegation (requires [~adaptive:true])} *)
+
+(** Per-partition access mode. [Draining] is the transition window of a
+    [Delegated -> Direct] flip: clients already route direct while the
+    controller retires the published ring backlog. *)
+type mode = Delegated | Draining | Direct
+
+val mode : 'a t -> pid:int -> mode
+(** Current mode of partition [pid] (host-side; charges nothing). Always
+    [Delegated] when the instance is not adaptive. *)
+
+val set_mode : 'a t -> pid:int -> [ `Delegated | `Direct ] -> unit
+(** Migrate partition [pid] online. Single-writer: only one thread (the
+    controller) may call this, though any simulated thread will do.
+    [`Direct] first marks the partition [Draining] — remote issues that
+    re-read the mode word switch to the CNA path immediately — then
+    serves every published delegation out of the rings before completing
+    the flip, so exactly-once survives and no ring entry is stranded
+    (batches still staged on a sender's socket publish later and are
+    drained by the next direct holder, an awaiting sender, or {!drain}).
+    [`Delegated] flips back without draining: direct holders finish under
+    the lock while new work queues in the rings again. No-op when the
+    partition is already in the requested mode; raises [Invalid_argument]
+    when the instance is not adaptive. *)
+
+type signal = {
+  s_mode : mode;
+  s_pending : int;  (** delegations queued in the rings right now *)
+  s_remote_ops : int;  (** remote ops issued at this partition, cumulative *)
+  s_direct_ops : int;  (** ops run via the direct path, cumulative *)
+  s_lat_sum : int;  (** summed issue->done latency, cumulative *)
+  s_lat_cnt : int;  (** remote completions measured, cumulative *)
+}
+
+val signals : 'a t -> pid:int -> signal
+(** Controller inputs for partition [pid], sampled host-side (charges
+    nothing, like {!health}); cumulative fields are meant to be diffed
+    across controller epochs. *)
+
+val active : 'a t -> bool
+(** [true] while any client is still issuing — the controller's loop
+    condition. *)
+
+val direct_ops : 'a t -> int
+(** Operations run via the direct CNA path (all partitions). *)
+
+val mode_flips : 'a t -> int * int
+(** [(to_direct, to_delegated)] completed transitions. *)
 
 (** {1 Watchdog and self-healing report} *)
 

@@ -85,3 +85,40 @@ val dps_parsec :
   t
 (** DPS partitioning over the ParSec-style core; store-free gets run
     locally (§4.4 local execution), sets delegated asynchronously. *)
+
+val dps_direct :
+  Dps_sthread.Sthread.t ->
+  ?self_healing:bool ->
+  ?batch:int ->
+  ?batch_age:int ->
+  ?placement:int array ->
+  ?on_set_applied:(int -> unit) ->
+  nclients:int ->
+  locality_size:int ->
+  buckets:int ->
+  capacity:int ->
+  unit ->
+  t
+(** The static direct-locking baseline: same partitioned store as
+    {!dps_mc}, but every partition starts — and stays — in direct mode,
+    so remote clients bypass the rings and serialize on the partition's
+    CNA lock. No controller runs. *)
+
+val adaptive :
+  Dps_sthread.Sthread.t ->
+  ?self_healing:bool ->
+  ?batch:int ->
+  ?batch_age:int ->
+  ?policy:Dps_adapt.Adapt.policy ->
+  ?placement:int array ->
+  ?on_set_applied:(int -> unit) ->
+  nclients:int ->
+  locality_size:int ->
+  buckets:int ->
+  capacity:int ->
+  unit ->
+  t
+(** {!dps_mc} plus a {!Dps_adapt.Adapt} controller thread (spawned on the
+    machine's last hardware thread) that migrates individual partitions
+    between delegated and direct mode at runtime, following [policy]
+    (default {!Dps_adapt.Adapt.default_policy}). *)

@@ -20,4 +20,5 @@ let () =
       ("cluster", Test_cluster.suite);
       ("batch", Test_batch.suite);
       ("obs", Test_obs.suite);
+      ("adapt", Test_adapt.suite);
     ]

@@ -206,6 +206,65 @@ let test_cohort_prefers_local_handoff () =
     true
     (transfers * 4 < acquisitions)
 
+let test_cna_mutex () =
+  exercise_lock (fun alloc ->
+      let m = Alloc.machine alloc in
+      let l = Dps_sync.Cna.create alloc m in
+      ((fun () -> Dps_sync.Cna.acquire l), fun () -> Dps_sync.Cna.release l))
+
+let test_cna_prefers_local_handoff () =
+  (* heavy contention from two sockets: the releaser's scan must keep the
+     lock on-socket, so cross-socket transfers are far rarer than
+     hand-offs *)
+  let s, alloc = mk () in
+  let m = Alloc.machine alloc in
+  let l = Dps_sync.Cna.create alloc m in
+  let acquisitions = 16 * 25 in
+  for t = 0 to 15 do
+    (* sockets 0 and 2 *)
+    let hw = if t < 8 then t * 2 else 40 + ((t - 8) * 2) in
+    Sthread.spawn s ~hw (fun () ->
+        for _ = 1 to 25 do
+          Dps_sync.Cna.acquire l;
+          Simops.work 100;
+          Dps_sync.Cna.release l
+        done)
+  done;
+  Sthread.run s;
+  let transfers = Dps_sync.Cna.remote_transfers l in
+  Alcotest.(check bool)
+    (Printf.sprintf "few cross-socket transfers (%d of %d)" transfers acquisitions)
+    true
+    (transfers * 4 < acquisitions);
+  Alcotest.(check bool) "lock released at the end" false (Dps_sync.Cna.held l)
+
+let test_cna_fairness_budget () =
+  (* a remote waiter parked on the secondary queue must still get the lock
+     once the local streak exhausts the fairness budget *)
+  let s, alloc = mk () in
+  let m = Alloc.machine alloc in
+  let l = Dps_sync.Cna.create ~fairness:8 alloc m in
+  let remote_got = ref 0 in
+  (* one waiter on socket 2 against a stream of socket-0 acquirers *)
+  Sthread.spawn s ~hw:40 (fun () ->
+      Sthread.work 500;
+      for _ = 1 to 3 do
+        Dps_sync.Cna.acquire l;
+        incr remote_got;
+        Simops.work 50;
+        Dps_sync.Cna.release l
+      done);
+  for t = 0 to 7 do
+    Sthread.spawn s ~hw:(t * 2) (fun () ->
+        for _ = 1 to 40 do
+          Dps_sync.Cna.acquire l;
+          Simops.work 50;
+          Dps_sync.Cna.release l
+        done)
+  done;
+  Sthread.run s;
+  Alcotest.(check int) "remote waiter served all its acquisitions" 3 !remote_got
+
 let test_lock_cold_path () =
   (* Outside the simulation locks are uncontended and free. *)
   let _, alloc = mk () in
@@ -236,5 +295,8 @@ let suite =
     ("barrier reusable", `Quick, test_barrier_reusable);
     ("cohort mutual exclusion", `Quick, test_cohort_mutex);
     ("cohort prefers local handoff", `Quick, test_cohort_prefers_local_handoff);
+    ("cna mutual exclusion", `Quick, test_cna_mutex);
+    ("cna prefers local handoff", `Quick, test_cna_prefers_local_handoff);
+    ("cna fairness budget", `Quick, test_cna_fairness_budget);
     ("locks cold path", `Quick, test_lock_cold_path);
   ]
