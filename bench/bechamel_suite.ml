@@ -1,7 +1,8 @@
 (** Bechamel microbenchmarks: one [Test.make] per paper table/figure,
     measuring a scaled-down kernel of that experiment's hot path (real
     wall-clock of the simulator, not simulated cycles — these quantify the
-    harness itself). *)
+    harness itself). Deliberately sequential: bechamel measures host
+    wall-clock, which concurrent domains would corrupt. *)
 
 open Bechamel
 open Toolkit

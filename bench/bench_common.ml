@@ -11,8 +11,59 @@ module Keydist = Dps_workload.Keydist
 module Driver = Dps_workload.Driver
 
 module type SET = Dps_ds.Set_intf.SET
+module Par = Dps_simcore.Par
 
 let quick = Sys.getenv_opt "BENCH_QUICK" <> None
+
+(* --- domain-parallel experiment runner ---
+
+   Experiment points are independent single-threaded simulations (each
+   harness below builds its own machine, scheduler and PRNGs), so a figure
+   fans its points out across OCaml domains and merges results in point
+   order. The determinism contract: every point computes exactly what it
+   computes under [-j1] (no shared mutable state), and all printing / JSON
+   recording happens on the main domain after the fan-out — so stdout and
+   BENCH_*.json are byte-identical for every [-j].
+
+   The profiler/tracer ([Dps_obs.Obs]) is global state by design
+   (bit-identical-off contract, DESIGN.md §6); when it is on, the runner
+   degrades to sequential rather than interleave observability streams. *)
+
+let jobs =
+  ref
+    (match Sys.getenv_opt "BENCH_JOBS" with
+    | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | _ -> 1)
+    | None -> 1)
+
+let set_jobs n = jobs := max 1 n
+let runner_jobs () = !jobs
+
+let run_all thunks =
+  let effective = if Dps_obs.Obs.on () then 1 else !jobs in
+  Par.map ~jobs:effective thunks
+
+(* Evaluate [f] over [xs] with results in list order; the workhorse for
+   figure drivers ("compute all points, then print"). *)
+let map_points f xs = Array.to_list (run_all (Array.of_list (List.map (fun x () -> f x) xs)))
+
+(* Evaluate a whole figure's (series x point) grid in one fan-out — the
+   thunks flatten row-major, so a slow series overlaps the others — and
+   return it reshaped, ready to print in order. *)
+let run_series (series : (string * (string * (unit -> 'r)) list) list) :
+    (string * (string * 'r) list) list =
+  let thunks = Array.of_list (List.concat_map (fun (_, pts) -> List.map snd pts) series) in
+  let res = run_all thunks in
+  let i = ref 0 in
+  List.map
+    (fun (label, pts) ->
+      ( label,
+        List.map
+          (fun (x, _) ->
+            let r = res.(!i) in
+            incr i;
+            (x, r))
+          pts ))
+    series
 
 (* Full-size machine for contention experiments; capacity experiments use
    the scaled machine with working sets scaled the same way (factor 16), so
@@ -226,7 +277,16 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Leak detector for the determinism contract: the JSON buffer (like all
+   printing) belongs to the main domain. A point that records from inside
+   the fan-out would interleave nondeterministically — fail fast instead. *)
+let assert_main_domain what =
+  if Par.in_worker () then
+    invalid_arg
+      (Printf.sprintf "Bench_common.%s: called from inside a parallel experiment point" what)
+
 let json_record ~series ~x (fields : (string * float) list) =
+  assert_main_domain "json_record";
   match !json_buf with
   | None -> ()
   | Some b ->
@@ -254,6 +314,7 @@ let json_end ~name =
       close_out oc
 
 let print_header title =
+  assert_main_domain "print_header";
   json_section := title;
   Printf.printf "\n=== %s ===\n%!" title
 

@@ -17,7 +17,7 @@ let locality_size () =
   print_header "Ablation: DPS locality size (bst-tk, skewed 4K, 50% update, 80 threads)";
   let sizes = if quick then [ 5; 10; 40 ] else [ 5; 10; 20; 40 ] in
   let pts =
-    List.map
+    map_points
       (fun ls ->
         ( string_of_int ls,
           run_dps
@@ -59,20 +59,21 @@ let check_budget () =
   print_header "Ablation: check budget (serves per own-completion check; 500-cycle ops, 80 threads)";
   Printf.printf "%-8s %12s %10s %10s\n" "budget" "Mops/s" "p50" "p99";
   List.iter
-    (fun b ->
-      let r = run_deleg ~check_budget:b ~op_len:500 () in
+    (fun (b, r) ->
       Printf.printf "%-8d %12.3f %10d %10d\n%!" b r.Driver.throughput_mops r.Driver.p50
         r.Driver.p99)
-    (if quick then [ 1; 4; 32 ] else [ 1; 2; 4; 8; 16; 32 ])
+    (map_points
+       (fun b -> (b, run_deleg ~check_budget:b ~op_len:500 ()))
+       (if quick then [ 1; 4; 32 ] else [ 1; 2; 4; 8; 16; 32 ]))
 
 let ring_slots () =
   print_header "Ablation: ring slots (asynchronous flood, 500-cycle ops + 1000-cycle delay)";
   Printf.printf "%-8s %12s\n" "slots" "Mops/s";
   List.iter
-    (fun n ->
-      let r = run_deleg ~ring_slots:n ~async:true ~op_len:500 ~delay:1000 () in
-      Printf.printf "%-8d %12.3f\n%!" n r.Driver.throughput_mops)
-    (if quick then [ 2; 16 ] else [ 2; 4; 16; 64 ])
+    (fun (n, r) -> Printf.printf "%-8d %12.3f\n%!" n r.Driver.throughput_mops)
+    (map_points
+       (fun n -> (n, run_deleg ~ring_slots:n ~async:true ~op_len:500 ~delay:1000 ()))
+       (if quick then [ 2; 16 ] else [ 2; 4; 16; 64 ]))
 
 let pollers () =
   print_header "Ablation: dedicated pollers under busy localities (§4.4 liveness)";
@@ -109,7 +110,11 @@ let pollers () =
     Sthread.run sched;
     hist
   in
-  let no_poller = run ~poller:false and with_poller = run ~poller:true in
+  let no_poller, with_poller =
+    match map_points (fun poller -> run ~poller) [ false; true ] with
+    | [ a; b ] -> (a, b)
+    | _ -> assert false
+  in
   Printf.printf "%-12s %10s %10s\n" "mode" "p50" "p99";
   Printf.printf "%-12s %10d %10d\n" "no poller"
     (Dps_simcore.Histogram.percentile no_poller 0.5)
@@ -168,12 +173,11 @@ let lock_family () =
       (Printf.sprintf "Ablation: lock family, %s (%d objects x 8 lines, 80 threads)" tag objects);
     Printf.printf "%-8s %12s %10s\n" "lock" "Mops/s" "p99";
     List.iter
-      (fun (name, mk) ->
-        let r = run_lock ~objects mk in
+      (fun (name, r) ->
         Printf.printf "%-8s %12.3f %10d\n%!" name r.Driver.throughput_mops r.Driver.p99;
         json_record ~series:("locks/" ^ tag) ~x:name
           [ ("throughput_mops", r.Driver.throughput_mops); ("p99", float_of_int r.Driver.p99) ])
-      family
+      (map_points (fun (name, mk) -> (name, run_lock ~objects mk)) family)
   in
   regime ~objects:64 ~tag:"contended";
   regime ~objects:4096 ~tag:"sparse"

@@ -75,6 +75,7 @@ type run = {
   phase_mops : float array;
   to_direct : int;
   to_delegated : int;
+  paths : int * int * int;  (* local, delegated, direct op counts *)
 }
 
 let mk_dps ?(adaptive = false) ?(direct = false) sched =
@@ -143,8 +144,6 @@ let run_one ~label ~mk =
       ~op ()
   in
   let to_direct, to_delegated = Dps.mode_flips dps in
-  Printf.printf "%-12s paths: local=%d delegated=%d direct=%d\n%!" label (Dps.local_ops dps)
-    (Dps.delegated_ops dps) (Dps.direct_ops dps);
   {
     label;
     agg;
@@ -155,6 +154,7 @@ let run_one ~label ~mk =
         ops;
     to_direct;
     to_delegated;
+    paths = (Dps.local_ops dps, Dps.delegated_ops dps, Dps.direct_ops dps);
   }
 
 let mk_adaptive sched =
@@ -235,12 +235,20 @@ let fig_drift () =
         %d%%/1 partition, cool = 1-in-5 clients uniform + %d-cycle think)"
        nphases hot_len cool_len threads hot_pct think);
   let runs =
-    [
-      run_one ~label:"delegated" ~mk:(mk_dps ~direct:false);
-      run_one ~label:"direct-cna" ~mk:(mk_dps ~direct:true);
-      run_one ~label:"adaptive" ~mk:mk_adaptive;
-    ]
+    map_points
+      (fun (label, mk) -> run_one ~label ~mk)
+      [
+        ("delegated", fun sched -> mk_dps ~direct:false sched);
+        ("direct-cna", fun sched -> mk_dps ~direct:true sched);
+        ("adaptive", mk_adaptive);
+      ]
   in
+  List.iter
+    (fun r ->
+      let local, delegated, direct = r.paths in
+      Printf.printf "%-12s paths: local=%d delegated=%d direct=%d\n%!" r.label local delegated
+        direct)
+    runs;
   List.iter
     (fun r ->
       Array.iteri

@@ -79,7 +79,7 @@ let fig_sizes () =
        "Batch (a): throughput/latency vs batch size (%d threads, %d-cycle ops, windows of %d)"
        threads op_len window);
   let batches = [ 1; 2; 4; 7 ] in
-  let pts = List.map (fun b -> (b, run_window ~batch:b)) batches in
+  let pts = map_points (fun b -> (b, run_window ~batch:b)) batches in
   List.iter
     (fun (b, (r, opf)) ->
       json_record ~series:"DPS" ~x:(string_of_int b)
@@ -141,7 +141,7 @@ let fig_age () =
   print_header
     "Batch (b): async delegation latency vs age-based flush bound (batch 7, 2000-cycle think)";
   let ages = [ 250; 1000; 4000; 16_000 ] in
-  let pts = List.map (fun a -> (a, run_aged ~batch_age:a)) ages in
+  let pts = map_points (fun a -> (a, run_aged ~batch_age:a)) ages in
   List.iter
     (fun (a, (lat, opf)) ->
       json_record ~series:"DPS" ~x:(string_of_int a)
@@ -188,7 +188,7 @@ let run_net ~batch =
 
 let fig_net () =
   print_header "Batch (c): memcached/net DPS-ParSec at 4096 clients, batched vs unbatched sets";
-  let pts = List.map (fun b -> (b, run_net ~batch:b)) [ 1; 4 ] in
+  let pts = map_points (fun b -> (b, run_net ~batch:b)) [ 1; 4 ] in
   List.iter
     (fun (b, r) ->
       json_record ~series:"DPS-ParSec" ~x:(string_of_int b)

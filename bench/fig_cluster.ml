@@ -294,7 +294,7 @@ let all () =
   print_header "Cluster: sharded serving with failover — stress-scenario matrix";
   Printf.printf "%d nodes default, %d keys, scaled machine; quick=%b\n%!"
     Cluster.default_config.Cluster.nnodes items quick;
-  let outcomes = List.map run_scenario matrix in
+  let outcomes = map_points run_scenario matrix in
   List.iter
     (fun o ->
       Printf.printf "-- %s: %s\n" o.s.sname o.s.sdesc;

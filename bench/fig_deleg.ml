@@ -78,55 +78,57 @@ let fig3 () =
   print_header "Figure 3: throughput vs data-structure operation length (80 threads)";
   let lengths = if quick then [ 0; 500; 2000 ] else [ 0; 400; 800; 1200; 1600; 2000 ] in
   let series name mode =
-    let pts =
+    ( name,
       List.map
         (fun len ->
-          (string_of_int len, run ~mode ~threads:80 ~op_len:len ~delay:0 ~duration:default_duration))
-        lengths
-    in
-    print_series ~label:name pts
+          ( string_of_int len,
+            fun () -> run ~mode ~threads:80 ~op_len:len ~delay:0 ~duration:default_duration ))
+        lengths )
   in
   Printf.printf "x = operation length (cycles)\n";
-  series "DPS" Dps_sync;
-  series "ffwd-s1" (Ffwd_servers 1);
-  series "ffwd-s4" (Ffwd_servers 4)
+  List.iter
+    (fun (label, pts) -> print_series ~label pts)
+    (run_series
+       [ series "DPS" Dps_sync; series "ffwd-s1" (Ffwd_servers 1); series "ffwd-s4" (Ffwd_servers 4) ])
 
 let fig6a () =
   print_header "Figure 6(a): delegation throughput vs cores (empty / 500-cycle ops)";
   let series name mode op_len =
-    let pts =
+    ( name,
       List.map
         (fun n ->
-          ( string_of_int n,
-            run ~mode ~threads:n ~op_len ~delay:0 ~duration:default_duration ))
-        core_counts
-    in
-    print_series ~label:name pts
+          (string_of_int n, fun () -> run ~mode ~threads:n ~op_len ~delay:0 ~duration:default_duration))
+        core_counts )
   in
   Printf.printf "x = cores\n";
-  series "DPS" Dps_sync 0;
-  series "ffwd-s1" (Ffwd_servers 1) 0;
-  series "ffwd-s4" (Ffwd_servers 4) 0;
-  series "DPS-500" Dps_sync 500;
-  series "ffwd-s1-500" (Ffwd_servers 1) 500;
-  series "ffwd-s4-500" (Ffwd_servers 4) 500
+  List.iter
+    (fun (label, pts) -> print_series ~label pts)
+    (run_series
+       [
+         series "DPS" Dps_sync 0;
+         series "ffwd-s1" (Ffwd_servers 1) 0;
+         series "ffwd-s4" (Ffwd_servers 4) 0;
+         series "DPS-500" Dps_sync 500;
+         series "ffwd-s1-500" (Ffwd_servers 1) 500;
+         series "ffwd-s4-500" (Ffwd_servers 4) 500;
+       ])
 
 let fig6b () =
   print_header "Figure 6(b): throughput vs inter-operation delay (80 threads, empty ops)";
   let delays = if quick then [ 0; 4000; 10000 ] else [ 0; 2000; 4000; 6000; 8000; 10000 ] in
   let series name mode =
-    let pts =
+    ( name,
       List.map
         (fun d ->
-          (string_of_int d, run ~mode ~threads:80 ~op_len:0 ~delay:d ~duration:default_duration))
-        delays
-    in
-    print_series ~label:name pts
+          ( string_of_int d,
+            fun () -> run ~mode ~threads:80 ~op_len:0 ~delay:d ~duration:default_duration ))
+        delays )
   in
   Printf.printf "x = delay between operations (cycles)\n";
-  series "DPS" Dps_sync;
-  series "DPS-a" Dps_async;
-  series "ffwd-s4" (Ffwd_servers 4)
+  List.iter
+    (fun (label, pts) -> print_series ~label pts)
+    (run_series
+       [ series "DPS" Dps_sync; series "DPS-a" Dps_async; series "ffwd-s4" (Ffwd_servers 4) ])
 
 let all () =
   fig3 ();

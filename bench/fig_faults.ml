@@ -84,7 +84,7 @@ let fig_crashes () =
   let counts = if quick then [ 0; 8 ] else [ 0; 2; 4; 8; 12 ] in
   Printf.printf "x = crashed clients (spread across localities)\n";
   let pts =
-    List.map
+    map_points
       (fun n ->
         ( string_of_int n,
           run ~chaos:{ no_chaos with crash_tids = spread_victims ~n } ~duration:default_duration ))
@@ -98,7 +98,7 @@ let fig_stalls () =
   let rates = if quick then [ 0.0; 0.02 ] else [ 0.0; 0.001; 0.005; 0.01; 0.02 ] in
   Printf.printf "x = P(stall <=2000cy) per scheduling point; delay rate = 2x on memory accesses\n";
   let pts =
-    List.map
+    map_points
       (fun p ->
         ( Printf.sprintf "%g" p,
           run

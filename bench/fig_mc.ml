@@ -52,70 +52,49 @@ let run which ~threads ~set_pct ~val_lines ~duration =
       else ignore (v.Variants.get key))
     ()
 
+(* One panel: every (variant x point) simulation in one fan-out. *)
+let panel ~xs run_of =
+  List.iter
+    (fun (label, pts) -> print_series ~label pts)
+    (run_series
+       (List.map
+          (fun which ->
+            (name_of which, List.map (fun x -> (string_of_int x, fun () -> run_of which x)) xs))
+          variants))
+
 let fig13a () =
   print_header "Figure 13(a): memcached, 128 B values, 1% set, vs cores";
-  List.iter
-    (fun which ->
-      let pts =
-        List.map
-          (fun n ->
-            ( string_of_int n,
-              run which ~threads:n ~set_pct:1 ~val_lines:2 ~duration:default_duration ))
-          core_counts
-      in
-      print_series ~label:(name_of which) pts)
-    variants
+  panel ~xs:core_counts (fun which n ->
+      run which ~threads:n ~set_pct:1 ~val_lines:2 ~duration:default_duration)
 
 let fig13b () =
   print_header "Figure 13(b): memcached, 1 KB values, 20% set, vs cores";
-  List.iter
-    (fun which ->
-      let pts =
-        List.map
-          (fun n ->
-            ( string_of_int n,
-              run which ~threads:n ~set_pct:20 ~val_lines:16 ~duration:default_duration ))
-          core_counts
-      in
-      print_series ~label:(name_of which) pts)
-    variants
+  panel ~xs:core_counts (fun which n ->
+      run which ~threads:n ~set_pct:20 ~val_lines:16 ~duration:default_duration)
 
 let fig13c () =
   print_header "Figure 13(c): memcached, 128 B values, 80 cores, vs set ratio";
   let ratios = if quick then [ 1; 50; 99 ] else [ 1; 20; 40; 60; 80; 99 ] in
-  List.iter
-    (fun which ->
-      let pts =
-        List.map
-          (fun s ->
-            ( string_of_int s,
-              run which ~threads:80 ~set_pct:s ~val_lines:2 ~duration:default_duration ))
-          ratios
-      in
-      print_series ~label:(name_of which) pts)
-    variants
+  panel ~xs:ratios (fun which s ->
+      run which ~threads:80 ~set_pct:s ~val_lines:2 ~duration:default_duration)
 
 let fig13d () =
   print_header "Figure 13(d): memcached, 1% set, 80 cores, vs value size (lines)";
   let sizes = if quick then [ 1; 8; 32 ] else [ 1; 2; 8; 16; 32 ] in
-  List.iter
-    (fun which ->
-      let pts =
-        List.map
-          (fun l ->
-            ( string_of_int l,
-              run which ~threads:80 ~set_pct:1 ~val_lines:l ~duration:default_duration ))
-          sizes
-      in
-      print_series ~label:(name_of which) pts)
-    variants
+  panel ~xs:sizes (fun which l ->
+      run which ~threads:80 ~set_pct:1 ~val_lines:l ~duration:default_duration)
 
 let latency () =
   print_header "Memcached tail latency, 128 B values, 1% set, 80 cores (§5.3)";
   Printf.printf "%-12s %10s %10s %10s %12s\n" "variant" "p50" "p99" "p99.9" "mean (cyc)";
+  let rows =
+    map_points
+      (fun which ->
+        (which, run which ~threads:80 ~set_pct:1 ~val_lines:2 ~duration:default_duration))
+      variants
+  in
   List.iter
-    (fun which ->
-      let r = run which ~threads:80 ~set_pct:1 ~val_lines:2 ~duration:default_duration in
+    (fun (which, r) ->
       json_record ~series:(name_of which) ~x:"80"
         [
           ("p50", float_of_int r.Driver.p50);
@@ -125,7 +104,7 @@ let latency () =
         ];
       Printf.printf "%-12s %10d %10d %10d %12.1f\n%!" (name_of which) r.Driver.p50 r.Driver.p99
         r.Driver.p999 r.Driver.mean_latency)
-    variants
+    rows
 
 let all () =
   fig13a ();

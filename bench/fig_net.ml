@@ -74,47 +74,35 @@ let print_points ~label (xs : (string * point) list) =
 
 let client_counts = if quick then [ 64; 4096 ] else [ 64; 256; 1024; 4096; 16384; 65536 ]
 
+(* All (backend x point) simulations of a panel in one fan-out. *)
+let panel ~xs run_of =
+  List.iter
+    (fun (label, pts) -> print_points ~label pts)
+    (run_series
+       (List.map
+          (fun which -> (name_of which, List.map (fun (x, p) -> (x, fun () -> run_of which p)) xs))
+          backends))
+
 let net_clients () =
   print_header "Net (a): closed-loop throughput vs simulated clients, 10% set";
-  List.iter
-    (fun which ->
-      let pts =
-        List.map
-          (fun n -> (string_of_int n, run which ~nclients:n ~set_pct:10 ~mode:None ()))
-          client_counts
-      in
-      print_points ~label:(name_of which) pts)
-    backends
+  panel
+    ~xs:(List.map (fun n -> (string_of_int n, n)) client_counts)
+    (fun which n -> run which ~nclients:n ~set_pct:10 ~mode:None ())
 
 let net_sets () =
   print_header "Net (b): closed-loop throughput vs set ratio, 4096 clients";
   let ratios = if quick then [ 1; 99 ] else [ 1; 20; 40; 60; 80; 99 ] in
-  List.iter
-    (fun which ->
-      let pts =
-        List.map
-          (fun s -> (string_of_int s, run which ~nclients:4096 ~set_pct:s ~mode:None ()))
-          ratios
-      in
-      print_points ~label:(name_of which) pts)
-    backends
+  panel
+    ~xs:(List.map (fun s -> (string_of_int s, s)) ratios)
+    (fun which s -> run which ~nclients:4096 ~set_pct:s ~mode:None ())
 
 let net_open () =
   print_header "Net (c): open-loop tail latency vs offered load (Mops/s), 10% set";
   let rates = if quick then [ 40.0 ] else [ 10.0; 20.0; 40.0; 60.0; 80.0 ] in
-  List.iter
-    (fun which ->
-      let pts =
-        List.map
-          (fun r ->
-            ( Printf.sprintf "%g" r,
-              run which ~nclients:4096 ~set_pct:10
-                ~mode:(Some (Netload.Open { rate_mops = r }))
-                () ))
-          rates
-      in
-      print_points ~label:(name_of which) pts)
-    backends
+  panel
+    ~xs:(List.map (fun r -> (Printf.sprintf "%g" r, r)) rates)
+    (fun which r ->
+      run which ~nclients:4096 ~set_pct:10 ~mode:(Some (Netload.Open { rate_mops = r })) ())
 
 let all () =
   net_clients ();

@@ -8,7 +8,12 @@
     stalls, parking) and land its rows in BENCH_profile.json; the run
     triple must produce bit-identical simulation results — the same
     invariant test/test_obs.ml enforces — and the verdict lands in the
-    JSON too, so the CI regression gate re-checks it on every push. *)
+    JSON too, so the CI regression gate re-checks it on every push.
+
+    Deliberately sequential: the experiment toggles the global {!Obs}
+    tracer/profiler state, which the parallel runner cannot isolate per
+    domain (Bench_common.run_all falls back to one job whenever Obs is
+    on for the same reason). *)
 
 open Bench_common
 module Sthread = Dps_sthread.Sthread

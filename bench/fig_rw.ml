@@ -110,17 +110,19 @@ let panel ~title ~objects ~lines =
   print_header title;
   Printf.printf "x = cores (%d objects, %d modified lines each)\n" objects lines;
   List.iter
-    (fun (name, technique) ->
-      let pts =
-        List.map
-          (fun n ->
-            ( string_of_int n,
-              run ~config:full_config ~technique ~threads:n ~objects ~lines ~write_lines:lines
-                ~duration:default_duration () ))
-          core_counts
-      in
-      print_series ~label:name pts)
-    techniques
+    (fun (label, pts) -> print_series ~label pts)
+    (run_series
+       (List.map
+          (fun (name, technique) ->
+            ( name,
+              List.map
+                (fun n ->
+                  ( string_of_int n,
+                    fun () ->
+                      run ~config:full_config ~technique ~threads:n ~objects ~lines
+                        ~write_lines:lines ~duration:default_duration () ))
+                core_counts ))
+          techniques))
 
 let fig7 () =
   panel ~title:"Figure 7(a): 64 objects x 4 cache lines" ~objects:64 ~lines:4;
@@ -132,35 +134,41 @@ let fig8 () =
   print_header "Figure 8(a)/(c): 80 cores, 32-line objects, sweep #objects";
   let object_counts = if quick then [ 16; 256; 2048 ] else [ 16; 64; 256; 1024; 2048 ] in
   List.iter
-    (fun (name, technique) ->
-      let pts =
-        List.map
-          (fun objects ->
-            ( string_of_int objects,
-              run ~config:full_config ~technique ~threads:80 ~objects ~lines:32 ~write_lines:32
-                ~duration:default_duration () ))
-          object_counts
-      in
-      print_series ~label:name pts;
-      print_misses ~label:name pts)
-    techniques;
+    (fun (label, pts) ->
+      print_series ~label pts;
+      print_misses ~label pts)
+    (run_series
+       (List.map
+          (fun (name, technique) ->
+            ( name,
+              List.map
+                (fun objects ->
+                  ( string_of_int objects,
+                    fun () ->
+                      run ~config:full_config ~technique ~threads:80 ~objects ~lines:32
+                        ~write_lines:32 ~duration:default_duration () ))
+                object_counts ))
+          techniques));
   print_header "Figure 8(b)/(d): 80 cores, 128 objects, sweep modified lines";
   let line_counts = if quick then [ 4; 24; 64 ] else [ 4; 14; 24; 34; 44; 54; 64 ] in
   List.iter
-    (fun (name, technique) ->
-      let pts =
-        List.map
-          (fun lines ->
-            (* the modified working set IS the operation: objects sized to
-               the modified line count, all of it written *)
-            ( string_of_int lines,
-              run ~config:full_config ~technique ~threads:80 ~objects:128 ~lines
-                ~write_lines:lines ~duration:default_duration () ))
-          line_counts
-      in
-      print_series ~label:name pts;
-      print_misses ~label:name pts)
-    techniques
+    (fun (label, pts) ->
+      print_series ~label pts;
+      print_misses ~label pts)
+    (run_series
+       (List.map
+          (fun (name, technique) ->
+            ( name,
+              List.map
+                (fun lines ->
+                  (* the modified working set IS the operation: objects sized
+                     to the modified line count, all of it written *)
+                  ( string_of_int lines,
+                    fun () ->
+                      run ~config:full_config ~technique ~threads:80 ~objects:128 ~lines
+                        ~write_lines:lines ~duration:default_duration () ))
+                line_counts ))
+          techniques))
 
 let table2 () =
   print_header "Table 2: 5 GB working set (512 x 10 MB objects; scaled /16), ops/s";
@@ -168,18 +176,23 @@ let table2 () =
      operation reads and writes a random 64-line slice of one object. *)
   let lines = 10240 in
   let objects = 512 in
-  let run_t technique policy =
-    let r =
-      run ~config:scaled_config ~technique ~threads:80 ~objects ~lines ~write_lines:16
-        ~window:64 ~policy ~duration:300_000 ()
-    in
-    r.Driver.throughput_mops *. 1e6
+  let rows =
+    map_points
+      (fun (label, technique, policy) ->
+        let r =
+          run ~config:scaled_config ~technique ~threads:80 ~objects ~lines ~write_lines:16
+            ~window:64 ~policy ~duration:300_000 ()
+        in
+        (label, r.Driver.throughput_mops *. 1e6))
+      [
+        ("MCS (local)", Mcs_locks, Machine.On_node 0);
+        ("MCS (interleave)", Mcs_locks, Machine.Interleave);
+        ("ffwd-s4", Ffwd_s4, Machine.Interleave);
+        ("DPS", Dps_rw, Machine.Interleave);
+      ]
   in
   Printf.printf "%-18s %12s\n" "technique" "ops/s";
-  Printf.printf "%-18s %12.0f\n" "MCS (local)" (run_t Mcs_locks (Machine.On_node 0));
-  Printf.printf "%-18s %12.0f\n" "MCS (interleave)" (run_t Mcs_locks Machine.Interleave);
-  Printf.printf "%-18s %12.0f\n" "ffwd-s4" (run_t Ffwd_s4 Machine.Interleave);
-  Printf.printf "%-18s %12.0f\n%!" "DPS" (run_t Dps_rw Machine.Interleave)
+  List.iter (fun (label, ops) -> Printf.printf "%-18s %12.0f\n%!" label ops) rows
 
 let all () =
   fig7 ();

@@ -35,35 +35,41 @@ let fig2 () =
   in
   Printf.printf "x = update ratio (%%)\n";
   List.iter
-    (fun (module S : SET) ->
-      let pts =
-        List.map
-          (fun u ->
-            ( string_of_int u,
-              run_shared (module S) ~config:full_config
-                (workload ~threads:80 ~size:4096 ~update_pct:u ~skewed:true ()) ))
-          ratios
-      in
-      print_series ~label:S.name pts;
-      print_misses ~label:S.name pts)
-    impls;
+    (fun (label, pts) ->
+      print_series ~label pts;
+      print_misses ~label pts)
+    (run_series
+       (List.map
+          (fun (module S : SET) ->
+            ( S.name,
+              List.map
+                (fun u ->
+                  ( string_of_int u,
+                    fun () ->
+                      run_shared (module S) ~config:full_config
+                        (workload ~threads:80 ~size:4096 ~update_pct:u ~skewed:true ()) ))
+                ratios ))
+          impls));
   print_header "Figure 2 (right): shared bst & skiplist vs size (5% update, uniform, 80c)";
   let sizes = if quick then [ 8192; 262144 ] else [ 8192; 32768; 131072; 524288 ] in
   Printf.printf "x = nodes (scaled machine; aggregate-LLC knee near %d lines)\n"
     (4 * scaled_config.Dps_machine.Machine.llc_lines);
   List.iter
-    (fun (module S : SET) ->
-      let pts =
-        List.map
-          (fun size ->
-            ( string_of_int size,
-              run_shared (module S) ~config:scaled_config
-                (workload ~threads:80 ~size ~update_pct:5 ~skewed:false ()) ))
-          sizes
-      in
-      print_series ~label:S.name pts;
-      print_misses ~label:S.name pts)
-    impls
+    (fun (label, pts) ->
+      print_series ~label pts;
+      print_misses ~label pts)
+    (run_series
+       (List.map
+          (fun (module S : SET) ->
+            ( S.name,
+              List.map
+                (fun size ->
+                  ( string_of_int size,
+                    fun () ->
+                      run_shared (module S) ~config:scaled_config
+                        (workload ~threads:80 ~size ~update_pct:5 ~skewed:false ()) ))
+                sizes ))
+          impls))
 
 (* --- Figure 9 --- *)
 
@@ -82,17 +88,31 @@ let fig9_structures : (string * (module SET)) list =
 let fig9_panel ~title w_of =
   print_header title;
   Printf.printf "%-10s %12s %12s %8s\n" "structure" "orig Mops/s" "DPS Mops/s" "speedup";
-  List.iter
-    (fun (label, (module S : SET)) ->
-      let family = List.hd (String.split_on_char '/' label) in
-      let w : workload = w_of family in
-      let config = if w.size > 16384 then scaled_config else full_config in
-      let orig = run_shared (module S) ~config w in
-      let dps = run_dps (module S) ~config w in
-      Printf.printf "%-10s %12.3f %12.3f %7.1fx\n%!" label orig.Driver.throughput_mops
-        dps.Driver.throughput_mops
-        (dps.Driver.throughput_mops /. max 1e-9 orig.Driver.throughput_mops))
-    fig9_structures
+  (* one thunk per (structure, harness) pair, merged back per structure *)
+  let rows =
+    map_points
+      (fun ((module S : SET), config, w, harness) ->
+        match harness with
+        | `Orig -> run_shared (module S) ~config w
+        | `Dps -> run_dps (module S) ~config w)
+      (List.concat_map
+         (fun (label, (module S : SET)) ->
+           let family = List.hd (String.split_on_char '/' label) in
+           let w : workload = w_of family in
+           let config = if w.size > 16384 then scaled_config else full_config in
+           [ ((module S : SET), config, w, `Orig); ((module S : SET), config, w, `Dps) ])
+         fig9_structures)
+  in
+  let rec print2 labels = function
+    | orig :: dps :: rest ->
+        let label = List.hd labels in
+        Printf.printf "%-10s %12.3f %12.3f %7.1fx\n%!" label orig.Driver.throughput_mops
+          dps.Driver.throughput_mops
+          (dps.Driver.throughput_mops /. max 1e-9 orig.Driver.throughput_mops);
+        print2 (List.tl labels) rest
+    | _ -> ()
+  in
+  print2 (List.map fst fig9_structures) rows
 
 let fig9 () =
   fig9_panel ~title:"Figure 9(a): skewed, 4K nodes, 50% update, 80 cores (lists scaled to 1K)"
@@ -126,28 +146,22 @@ let four_panels ~figure ~family ~impls ~small_size ~big_size ~size_sweep () =
     | _ -> (module Dps_ds.Sl_herlihy)
   in
   let ffwd_servers = if family = "bst" then 4 else 1 in
-  let cores_panel ~config w_of =
+  let sweep_panel ~config ~xs w_of =
+    (* every series of the panel (impls + ffwd + DPS) in one fan-out *)
+    let mk label runner = (label, List.map (fun x -> (string_of_int x, fun () -> runner x)) xs) in
     List.iter
-      (fun (module S : SET) ->
-        let pts =
-          List.map
-            (fun n -> (string_of_int n, run_shared (module S) ~config (w_of n)))
-            core_counts
-        in
-        print_series ~label:S.name pts)
-      impls;
-    let pts_ffwd =
-      List.map
-        (fun n ->
-          (string_of_int n, run_ffwd dps_internal ~config ~servers:ffwd_servers (w_of n)))
-        core_counts
-    in
-    print_series ~label:"ffwd" pts_ffwd;
-    let pts_dps =
-      List.map (fun n -> (string_of_int n, run_dps dps_internal ~config (w_of n))) core_counts
-    in
-    print_series ~label:"DPS" pts_dps
+      (fun (label, pts) -> print_series ~label pts)
+      (run_series
+         (List.map
+            (fun (module S : SET) ->
+              mk S.name (fun x -> run_shared (module S) ~config (w_of x)))
+            impls
+         @ [
+             mk "ffwd" (fun x -> run_ffwd dps_internal ~config ~servers:ffwd_servers (w_of x));
+             mk "DPS" (fun x -> run_dps dps_internal ~config (w_of x));
+           ]))
   in
+  let cores_panel ~config w_of = sweep_panel ~config ~xs:core_counts w_of in
   cores_panel ~config:full_config (fun n ->
       workload ~threads:n ~size:small_size ~update_pct:50 ~skewed:true ());
   (* panel b: cores sweep, large working set *)
@@ -163,55 +177,15 @@ let four_panels ~figure ~family ~impls ~small_size ~big_size ~size_sweep () =
     (Printf.sprintf "Figure %s(c): %s, skewed %d nodes, vs update ratio (80c)" figure family
        small_size);
   let ratios = if quick then [ 0; 50; 100 ] else [ 0; 20; 40; 60; 80; 100 ] in
-  let ratio_panel () =
-    let w_of u = workload ~threads:80 ~size:small_size ~update_pct:u ~skewed:true () in
-    List.iter
-      (fun (module S : SET) ->
-        let pts =
-          List.map
-            (fun u -> (string_of_int u, run_shared (module S) ~config:full_config (w_of u)))
-            ratios
-        in
-        print_series ~label:S.name pts)
-      impls;
-    print_series ~label:"ffwd"
-      (List.map
-         (fun u ->
-           (string_of_int u, run_ffwd dps_internal ~config:full_config ~servers:ffwd_servers (w_of u)))
-         ratios);
-    print_series ~label:"DPS"
-      (List.map (fun u -> (string_of_int u, run_dps dps_internal ~config:full_config (w_of u))) ratios)
-  in
-  ratio_panel ();
+  sweep_panel ~config:full_config ~xs:ratios (fun u ->
+      workload ~threads:80 ~size:small_size ~update_pct:u ~skewed:true ());
   (* panel d: size sweep at 80 cores *)
   print_header (Printf.sprintf "Figure %s(d): %s, uniform 5%% update, vs size (80c)" figure family);
-  let size_panel () =
-    let w_of size =
+  sweep_panel ~config:scaled_config ~xs:size_sweep (fun size ->
       workload ~threads:80 ~size ~update_pct:5 ~skewed:false
         ?min_ops:(if family = "linked list" then Some 2 else None)
         ~duration:(if family = "linked list" then 150_000 else default_duration)
-        ()
-    in
-    List.iter
-      (fun (module S : SET) ->
-        let pts =
-          List.map
-            (fun size -> (string_of_int size, run_shared (module S) ~config:scaled_config (w_of size)))
-            size_sweep
-        in
-        print_series ~label:S.name pts)
-      impls;
-    print_series ~label:"ffwd"
-      (List.map
-         (fun size ->
-           (string_of_int size, run_ffwd dps_internal ~config:scaled_config ~servers:ffwd_servers (w_of size)))
-         size_sweep);
-    print_series ~label:"DPS"
-      (List.map
-         (fun size -> (string_of_int size, run_dps dps_internal ~config:scaled_config (w_of size)))
-         size_sweep)
-  in
-  size_panel ()
+        ())
 
 let fig10 () =
   four_panels ~figure:"10" ~family:"linked list" ~impls:lists ~small_size:1024

@@ -1,7 +1,13 @@
 (** Regenerates every table and figure of the paper's evaluation (§2, §5).
     Run all experiments with [dune exec bench/main.exe], or a subset with
     e.g. [dune exec bench/main.exe -- fig6a fig13]. Set [BENCH_QUICK=1] for
-    a fast smoke pass with fewer points. *)
+    a fast smoke pass with fewer points.
+
+    [-jN] (or [--jobs N], or the [BENCH_JOBS] env var) fans independent
+    experiment points out over N OCaml domains; output is byte-identical
+    to [-j1] — see DESIGN.md §9 for the determinism contract. *)
+
+open Dps_bench_figures
 
 let table1 () =
   Bench_common.print_header "Table 1: comparison of data-structure implementations (qualitative)";
@@ -43,21 +49,48 @@ let with_json name f () =
   Fun.protect ~finally:(fun () -> Bench_common.json_end ~name) f
 
 let usage () =
-  print_endline "usage: main.exe [experiment ...]   (default: all)";
-  List.iter (fun (n, d, _) -> Printf.printf "  %-9s %s\n" n d) experiments
+  print_endline "usage: main.exe [-jN] [experiment ...]   (default: all)";
+  List.iter (fun (n, d, _) -> Printf.printf "  %-9s %s\n" n d) experiments;
+  print_endline "  -jN / --jobs N   run experiment points on N domains (default: BENCH_JOBS or 1)"
+
+(* Extract -jN / --jobs N anywhere in the argument list; the rest are
+   experiment names. *)
+let parse_jobs args =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: rest | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 ->
+            Bench_common.set_jobs j;
+            go acc rest
+        | _ ->
+            Printf.printf "invalid job count %S\n" n;
+            exit 1)
+    | arg :: rest when String.length arg > 2 && String.sub arg 0 2 = "-j" -> (
+        match int_of_string_opt (String.sub arg 2 (String.length arg - 2)) with
+        | Some j when j >= 1 ->
+            Bench_common.set_jobs j;
+            go acc rest
+        | _ ->
+            Printf.printf "invalid job count %S\n" arg;
+            exit 1)
+    | arg :: rest -> go (arg :: acc) rest
+  in
+  go [] args
+
+let run_named name =
+  let _, _, f = List.find (fun (n, _, _) -> n = name) experiments in
+  let t = Unix.gettimeofday () in
+  with_json name f ();
+  Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t)
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let args = parse_jobs (List.tl (Array.to_list Sys.argv)) in
   match args with
   | [ "--help" ] | [ "-h" ] -> usage ()
   | [] ->
       let t0 = Unix.gettimeofday () in
-      List.iter
-        (fun (name, _, f) ->
-          let t = Unix.gettimeofday () in
-          with_json name f ();
-          Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t))
-        experiments;
+      List.iter (fun (name, _, _) -> run_named name) experiments;
       Printf.printf "\nAll experiments done in %.1fs\n" (Unix.gettimeofday () -. t0)
   | names ->
       (* validate the whole selection up front: one typo in a long list
@@ -72,8 +105,4 @@ let () =
             (String.concat ", " (List.map (Printf.sprintf "%S") unknown));
           usage ();
           exit 1);
-      List.iter
-        (fun name ->
-          let _, _, f = List.find (fun (n, _, _) -> n = name) experiments in
-          with_json name f ())
-        names
+      List.iter run_named names

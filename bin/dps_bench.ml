@@ -38,15 +38,8 @@ let structures : (string * (module SET)) list =
 
 type harness = Shared | Dps_h | Ffwd_h
 
-let run_bench structure harness threads size update skewed duration servers scaled seed =
-  let (module S : SET) =
-    match List.assoc_opt structure structures with
-    | Some s -> s
-    | None ->
-        Printf.eprintf "unknown structure %S; pick from: %s\n" structure
-          (String.concat ", " (List.map fst structures));
-        exit 2
-  in
+let run_point structure (module S : SET) harness threads size update skewed duration servers
+    scaled seed =
   let config = if scaled then Machine.config_scaled () else Machine.config_default in
   let m = Machine.create ~seed config in
   let sched = Sthread.create m in
@@ -178,7 +171,33 @@ let run_bench structure harness threads size update skewed duration servers scal
                (fun key -> ignore (call key (fun s -> if S.lookup s key = None then 0 else 1))))
           ()
   in
-  Format.printf "%a@." Driver.pp_result result
+  result
+
+(* Fan independent seeds out across domains (bin-level mirror of the
+   bench/ runner): results print in seed order whatever the job count. *)
+let run_bench structure harness threads size update skewed duration servers scaled seed seeds
+    jobs =
+  let (module S : SET) =
+    match List.assoc_opt structure structures with
+    | Some s -> s
+    | None ->
+        Printf.eprintf "unknown structure %S; pick from: %s\n" structure
+          (String.concat ", " (List.map fst structures));
+        exit 2
+  in
+  let seed_of i = Int64.add seed (Int64.of_int i) in
+  let results =
+    Dps_simcore.Par.map ~jobs
+      (Array.init (max 1 seeds) (fun i () ->
+           run_point structure
+             (module S : SET)
+             harness threads size update skewed duration servers scaled (seed_of i)))
+  in
+  if Array.length results = 1 then Format.printf "%a@." Driver.pp_result results.(0)
+  else
+    Array.iteri
+      (fun i r -> Format.printf "seed %Ld: %a@." (seed_of i) Driver.pp_result r)
+      results
 
 (* --- command line --- *)
 
@@ -199,12 +218,23 @@ let servers = Arg.(value & opt int 1 & info [ "servers" ] ~doc:"ffwd server coun
 let scaled = Arg.(value & flag & info [ "scaled" ] ~doc:"Use the /16-scaled cache hierarchy.")
 let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"Simulation seed.")
 
+let seeds =
+  Arg.(
+    value & opt int 1
+    & info [ "seeds" ] ~doc:"Run this many points with consecutive seeds (seed, seed+1, ...).")
+
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ]
+        ~doc:"Worker domains for multi-seed runs; output is identical for any job count.")
+
 let cmd =
   let doc = "run one data-structure benchmark point on the simulated NUMA machine" in
   Cmd.v
     (Cmd.info "dps-bench" ~doc)
     Term.(
       const run_bench $ structure $ harness $ threads $ size $ update $ skewed $ duration
-      $ servers $ scaled $ seed)
+      $ servers $ scaled $ seed $ seeds $ jobs)
 
 let () = exit (Cmd.eval cmd)

@@ -13,6 +13,7 @@ module Machine = Dps_machine.Machine
 module Sthread = Dps_sthread.Sthread
 module Alloc = Dps_sthread.Alloc
 module Prng = Dps_simcore.Prng
+module Par = Dps_simcore.Par
 
 type failure = {
   name : string;
@@ -70,9 +71,20 @@ let derive ~seed ~strategies i =
   in
   (strategy, !s)
 
+(* [DPS_CHECK_COUNT_FILE]: append "<name> <explored>" after each
+   exploration, so the CI smoke job can total the schedules it covered. *)
+let record_explored ~name n =
+  match Sys.getenv_opt "DPS_CHECK_COUNT_FILE" with
+  | None -> ()
+  | Some path ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      Printf.fprintf oc "%s %d\n" name n;
+      close_out oc
+
 let explore ~name ?(budget = 50) ?(seed = 0x5eedL) ?(strategies = default_strategies)
     ?(shrink_tries = 80) run =
   let budget = env_int "DPS_CHECK_BUDGET" budget in
+  let jobs = max 1 (env_int "DPS_CHECK_JOBS" 1) in
   let run_one ctl = try run ctl with e -> Some ("exception: " ^ Printexc.to_string e) in
   let fail ~index ~strategy ~msg ~full =
     let still_fails tr = run_one (Schedule.make ~seed:0L (Schedule.Replay tr)) <> None in
@@ -128,17 +140,57 @@ let explore ~name ?(budget = 50) ?(seed = 0x5eedL) ?(strategies = default_strate
           | None -> Ok ()
           | Some msg -> fail ~index ~strategy ~msg ~full:(Schedule.trace ctl))
       | None ->
-          let rec go i =
-            if i >= budget then Ok ()
-            else begin
-              let strategy, s = derive ~seed ~strategies i in
-              let ctl = Schedule.make ~seed:s strategy in
-              match run_one ctl with
-              | None -> go (i + 1)
-              | Some msg -> fail ~index:i ~strategy ~msg ~full:(Schedule.trace ctl)
-            end
+          (* The scan over schedule indices. Each index is an independent
+             simulation, so with DPS_CHECK_JOBS > 1 a window of them fans
+             out across domains; the scan stops at the first window with a
+             failure and reports its lowest failing index — the same
+             schedule the sequential scan finds (later indices of that
+             window were explored and discarded, never reported). Shrinking
+             then runs on the main domain, exactly as at -j1. *)
+          let run_index i =
+            let strategy, s = derive ~seed ~strategies i in
+            let ctl = Schedule.make ~seed:s strategy in
+            match run_one ctl with
+            | None -> None
+            | Some msg -> Some (msg, strategy, Schedule.trace ctl)
           in
-          go 0)
+          let finish = function
+            | None ->
+                record_explored ~name budget;
+                Ok ()
+            | Some (i, (msg, strategy, full)) ->
+                record_explored ~name (i + 1);
+                fail ~index:i ~strategy ~msg ~full
+          in
+          if jobs <= 1 then begin
+            let rec go i =
+              if i >= budget then finish None
+              else
+                match run_index i with
+                | None -> go (i + 1)
+                | Some r -> finish (Some (i, r))
+            in
+            go 0
+          end
+          else begin
+            let window = jobs * 4 in
+            let rec go lo =
+              if lo >= budget then finish None
+              else begin
+                let hi = min budget (lo + window) in
+                let results = Par.map ~jobs (Array.init (hi - lo) (fun k () -> run_index (lo + k))) in
+                let first = ref None in
+                Array.iteri
+                  (fun k r ->
+                    match (!first, r) with
+                    | None, Some r -> first := Some (lo + k, r)
+                    | _ -> ())
+                  results;
+                match !first with Some _ as f -> finish f | None -> go hi
+              end
+            in
+            go 0
+          end)
 
 (** {1 Scenario harness} *)
 

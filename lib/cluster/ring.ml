@@ -97,3 +97,10 @@ let remove t node =
     if t.live = [] then invalid_arg "Ring.remove: removing the last node";
     rebuild t
   end
+
+let add t node =
+  if node < 0 then invalid_arg "Ring.add: negative node id";
+  if not (List.mem node t.live) then begin
+    t.live <- List.sort compare (node :: t.live);
+    rebuild t
+  end

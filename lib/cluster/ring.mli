@@ -25,6 +25,13 @@ val remove : t -> int -> unit
 (** Delete a node's points (idempotent). Raises [Invalid_argument] when
     asked to remove the last live node. *)
 
+val add : t -> int -> unit
+(** (Re-)insert a node's points (idempotent): exactly the keys hashing
+    onto the new points move to [node]; every other key keeps its owner.
+    [add] after [remove] of the same node restores the identical layout —
+    point positions depend only on the node id. Raises [Invalid_argument]
+    on a negative id. *)
+
 val nodes : t -> int list
 (** Live node ids, ascending. *)
 

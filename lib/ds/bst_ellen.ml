@@ -46,11 +46,17 @@ let inf2 = max_int
 
 let mk_leaf alloc k v = { lkey = k; lvalue = v; laddr = Alloc.line alloc }
 
-let stamp_counter = ref 0
+(* The stamp only defeats static sharing of constant records — update
+   descriptors are compared by physical identity, never by stamp value —
+   so it needs freshness, not global uniqueness. Domain-local state keeps
+   concurrent experiment points (one simulation per domain) from racing on
+   a shared counter; records from different simulations never meet. *)
+let stamp_counter_key = Domain.DLS.new_key (fun () -> ref 0)
 
 let mk_update state =
-  incr stamp_counter;
-  { state; stamp = !stamp_counter }
+  let c = Domain.DLS.get stamp_counter_key in
+  incr c;
+  { state; stamp = !c }
 
 let mk_internal alloc key left right =
   { key; addr = Alloc.line alloc; upd = mk_update Clean; left; right }

@@ -1,11 +1,16 @@
 module Prng = Dps_simcore.Prng
+module Itbl = Dps_simcore.Itbl
 
 (* The slot array and index grow on demand: an LLC box is sized for hundreds
    of thousands of lines, but most simulations touch far fewer, and machines
-   are created freely in tests. *)
+   are created freely in tests. The addr -> slot index is an open-addressing
+   int table (Itbl): membership tests dominate the simulator profile, and
+   the stdlib Hashtbl paid a bucket allocation per insert plus polymorphic
+   hashing per probe. Replacement decisions (slot order, PRNG draws) are
+   bit-identical to the Hashtbl implementation — only lookup cost changed. *)
 type t = {
   mutable slots : int array;
-  index : (int, int) Hashtbl.t;  (* addr -> slot *)
+  index : Itbl.t;  (* addr -> slot *)
   capacity : int;
   mutable size : int;
   prng : Prng.t;
@@ -14,26 +19,26 @@ type t = {
 let create ~capacity prng =
   assert (capacity > 0);
   let initial = min capacity 256 in
-  { slots = Array.make initial (-1); index = Hashtbl.create (2 * initial); capacity; size = 0; prng }
+  { slots = Array.make initial (-1); index = Itbl.create ~capacity:(2 * initial) (); capacity; size = 0; prng }
 
 let capacity t = t.capacity
 let size t = t.size
-let mem t addr = Hashtbl.mem t.index addr
+let mem t addr = Itbl.mem t.index addr
 
 let remove_slot t slot =
   let addr = t.slots.(slot) in
-  Hashtbl.remove t.index addr;
+  Itbl.remove t.index addr;
   let last = t.size - 1 in
   if slot <> last then begin
     let moved = t.slots.(last) in
     t.slots.(slot) <- moved;
-    Hashtbl.replace t.index moved slot
+    Itbl.set t.index moved slot
   end;
   t.slots.(last) <- -1;
   t.size <- last
 
 let remove t addr =
-  match Hashtbl.find_opt t.index addr with
+  match Itbl.find_opt t.index addr with
   | None -> ()
   | Some slot -> remove_slot t slot
 
@@ -43,7 +48,7 @@ let grow t =
   t.slots <- bigger
 
 let add t addr =
-  if Hashtbl.mem t.index addr then None
+  if Itbl.mem t.index addr then None
   else begin
     let victim =
       if t.size = t.capacity then begin
@@ -58,7 +63,7 @@ let add t addr =
       end
     in
     t.slots.(t.size) <- addr;
-    Hashtbl.replace t.index addr t.size;
+    Itbl.set t.index addr t.size;
     t.size <- t.size + 1;
     victim
   end

@@ -39,12 +39,21 @@ type line = { home : int; mutable owner : int; sharers : Bitset.t; mutable wbusy
 
 type region = { base : int; nlines : int; pol : policy }
 
+(* Placeholder for never-touched entries of the dense directory; compared
+   physically, never read. *)
+let no_line = { home = -1; owner = -1; sharers = Bitset.create 0; wbusy = 0 }
+
 type t = {
   cfg : config;
   priv : Cachebox.t array;  (* per physical core *)
   tlb : Cachebox.t array;  (* per physical core, in pages *)
   llc : Cachebox.t array;  (* per socket *)
-  lines : (int, line) Hashtbl.t;
+  mutable lines : line array;
+    (* The coherence directory, keyed directly by line index. [alloc] hands
+       out addresses densely from 0, so the directory is a flat array grown
+       alongside [next_addr] — one load per lookup where the previous
+       [Hashtbl] hashed and chased buckets on every access. Entries
+       materialize lazily on first touch, exactly as the hash table did. *)
   dram_busy : int array;  (* per NUMA node: memory-controller occupancy *)
   mutable regions : region array;
   mutable nregions : int;
@@ -61,7 +70,7 @@ let create ?(seed = 42L) cfg =
     priv = Array.init (Topology.ncores topo) (fun _ -> Cachebox.create ~capacity:cfg.priv_lines (Prng.split root));
     tlb = Array.init (Topology.ncores topo) (fun _ -> Cachebox.create ~capacity:cfg.tlb_entries (Prng.split root));
     llc = Array.init topo.Topology.sockets (fun _ -> Cachebox.create ~capacity:cfg.llc_lines (Prng.split root));
-    lines = Hashtbl.create 65536;
+    lines = Array.make 65536 no_line;
     dram_busy = Array.make topo.Topology.sockets 0;
     regions = Array.make 16 { base = 0; nlines = 0; pol = Interleave };
     nregions = 0;
@@ -78,6 +87,12 @@ let alloc t pol ~lines =
   assert (lines > 0);
   let base = t.next_addr in
   t.next_addr <- base + lines;
+  if t.next_addr > Array.length t.lines then begin
+    let cap = max t.next_addr (2 * Array.length t.lines) in
+    let bigger = Array.make cap no_line in
+    Array.blit t.lines 0 bigger 0 (Array.length t.lines);
+    t.lines <- bigger
+  end;
   if t.nregions = Array.length t.regions then begin
     let bigger = Array.make (2 * t.nregions) t.regions.(0) in
     Array.blit t.regions 0 bigger 0 t.nregions;
@@ -114,19 +129,22 @@ let compute_home t addr =
   | Interleave -> (addr - r.base) mod t.cfg.topo.Topology.sockets
 
 let line_of t addr =
-  match Hashtbl.find_opt t.lines addr with
-  | Some l -> l
-  | None ->
-      let l =
-        {
-          home = compute_home t addr;
-          owner = -1;
-          sharers = Bitset.create (Topology.ncores t.cfg.topo);
-          wbusy = 0;
-        }
-      in
-      Hashtbl.add t.lines addr l;
-      l
+  if addr < 0 || addr >= t.next_addr then
+    invalid_arg (Printf.sprintf "Machine: access to unallocated address %d" addr);
+  let l = t.lines.(addr) in
+  if l != no_line then l
+  else begin
+    let l =
+      {
+        home = compute_home t addr;
+        owner = -1;
+        sharers = Bitset.create (Topology.ncores t.cfg.topo);
+        wbusy = 0;
+      }
+    in
+    t.lines.(addr) <- l;
+    l
+  end
 
 let home_of t addr = (line_of t addr).home
 
@@ -135,12 +153,12 @@ let home_of t addr = (line_of t addr).home
 let priv_insert t core addr =
   match Cachebox.add t.priv.(core) addr with
   | None -> ()
-  | Some victim -> (
-      match Hashtbl.find_opt t.lines victim with
-      | None -> ()
-      | Some l ->
-          Bitset.remove l.sharers core;
-          if l.owner = core then l.owner <- -1)
+  | Some victim ->
+      let l = t.lines.(victim) in
+      if l != no_line then begin
+        Bitset.remove l.sharers core;
+        if l.owner = core then l.owner <- -1
+      end
 
 let llc_insert t sock addr = ignore (Cachebox.add t.llc.(sock) addr)
 

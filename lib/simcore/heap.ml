@@ -1,69 +1,115 @@
-type 'a entry = { time : int; seq : int; payload : 'a }
+(* Structure-of-arrays binary min-heap. The event queue is the hottest
+   allocation site in the simulator: the previous representation boxed a
+   {time; seq; payload} record per push. Splitting times/seqs into int
+   arrays makes push/pop allocation-free (ints are unboxed) and keeps the
+   comparison data in two dense arrays the host prefetches well. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable payloads : 'a array;
   mutable len : int;
   mutable next_seq : int;
 }
 
 let dummy = Obj.magic 0
 
-let create () = { data = Array.make 64 dummy; len = 0; next_seq = 0 }
+let create () =
+  {
+    times = Array.make 64 0;
+    seqs = Array.make 64 0;
+    payloads = Array.make 64 dummy;
+    len = 0;
+    next_seq = 0;
+  }
 
 let is_empty t = t.len = 0
 let size t = t.len
 
-let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
 let grow t =
-  let bigger = Array.make (2 * Array.length t.data) dummy in
-  Array.blit t.data 0 bigger 0 t.len;
-  t.data <- bigger
+  let cap = 2 * Array.length t.times in
+  let times = Array.make cap 0 and seqs = Array.make cap 0 and payloads = Array.make cap dummy in
+  Array.blit t.times 0 times 0 t.len;
+  Array.blit t.seqs 0 seqs 0 t.len;
+  Array.blit t.payloads 0 payloads 0 t.len;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.payloads <- payloads
 
+(* Ties on [time] break by insertion sequence, as before: determinism. *)
 let push t ~time payload =
-  if t.len = Array.length t.data then grow t;
-  let e = { time; seq = t.next_seq; payload } in
-  t.next_seq <- t.next_seq + 1;
+  if t.len = Array.length t.times then grow t;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
   let i = ref t.len in
   t.len <- t.len + 1;
-  t.data.(!i) <- e;
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if less e t.data.(parent) then begin
-      t.data.(!i) <- t.data.(parent);
-      t.data.(parent) <- e;
+    let pt = t.times.(parent) in
+    if time < pt || (time = pt && seq < t.seqs.(parent)) then begin
+      t.times.(!i) <- pt;
+      t.seqs.(!i) <- t.seqs.(parent);
+      t.payloads.(!i) <- t.payloads.(parent);
       i := parent
+    end
+    else continue := false
+  done;
+  t.times.(!i) <- time;
+  t.seqs.(!i) <- seq;
+  t.payloads.(!i) <- payload
+
+let less t a b =
+  t.times.(a) < t.times.(b) || (t.times.(a) = t.times.(b) && t.seqs.(a) < t.seqs.(b))
+
+let sift_down t =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.len && less t l !smallest then smallest := l;
+    if r < t.len && less t r !smallest then smallest := r;
+    if !smallest <> !i then begin
+      let s = !smallest in
+      let tm = t.times.(!i) and sq = t.seqs.(!i) and pl = t.payloads.(!i) in
+      t.times.(!i) <- t.times.(s);
+      t.seqs.(!i) <- t.seqs.(s);
+      t.payloads.(!i) <- t.payloads.(s);
+      t.times.(s) <- tm;
+      t.seqs.(s) <- sq;
+      t.payloads.(s) <- pl;
+      i := s
     end
     else continue := false
   done
 
+let remove_min t =
+  t.len <- t.len - 1;
+  let last = t.len in
+  if last > 0 then begin
+    t.times.(0) <- t.times.(last);
+    t.seqs.(0) <- t.seqs.(last);
+    t.payloads.(0) <- t.payloads.(last);
+    t.payloads.(last) <- dummy;
+    sift_down t
+  end
+  else t.payloads.(0) <- dummy
+
+let next_time t = if t.len = 0 then max_int else t.times.(0)
+
+let take t =
+  if t.len = 0 then invalid_arg "Heap.take: empty heap";
+  let payload = t.payloads.(0) in
+  remove_min t;
+  payload
+
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = t.data.(0) in
-    t.len <- t.len - 1;
-    let last = t.data.(t.len) in
-    t.data.(t.len) <- dummy;
-    if t.len > 0 then begin
-      t.data.(0) <- last;
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.len && less t.data.(l) t.data.(!smallest) then smallest := l;
-        if r < t.len && less t.data.(r) t.data.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = t.data.(!i) in
-          t.data.(!i) <- t.data.(!smallest);
-          t.data.(!smallest) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end;
-    Some (top.time, top.payload)
+    let time = t.times.(0) and payload = t.payloads.(0) in
+    remove_min t;
+    Some (time, payload)
   end
 
-let min_time t = if t.len = 0 then None else Some t.data.(0).time
+let min_time t = if t.len = 0 then None else Some t.times.(0)

@@ -1,7 +1,8 @@
-(** Binary min-heap keyed by [(time, seq)].
+(** Binary min-heap keyed by [(time, seq)], structure-of-arrays.
 
     This is the simulator's event queue. Ties on [time] are broken by an
-    insertion sequence number so the simulation is deterministic. *)
+    insertion sequence number so the simulation is deterministic. The
+    [next_time]/[take] pair is the hot-loop API: neither allocates. *)
 
 type 'a t
 
@@ -11,6 +12,13 @@ val size : 'a t -> int
 
 val push : 'a t -> time:int -> 'a -> unit
 (** Sequence numbers are assigned internally in push order. *)
+
+val next_time : 'a t -> int
+(** Time of the minimum entry, or [max_int] when empty. Never allocates. *)
+
+val take : 'a t -> 'a
+(** Remove and return the minimum entry's payload. Never allocates.
+    Raises [Invalid_argument] on an empty heap — pair with {!next_time}. *)
 
 val pop : 'a t -> (int * 'a) option
 (** Pop the minimum [(time, payload)], or [None] if empty. *)

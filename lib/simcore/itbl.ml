@@ -1,0 +1,105 @@
+(* Open-addressing int -> int hash table: linear probing over a flat int
+   array pair, with backward-shift deletion (no tombstones). Replaces
+   stdlib [Hashtbl] on simulator hot paths (cache-box address indexes),
+   where the per-binding bucket allocation and polymorphic hashing of
+   [Hashtbl] dominate the profile.
+
+   Keys must be non-negative (cache-line addresses and page numbers are).
+   The empty slot sentinel is -1. *)
+
+type t = {
+  mutable keys : int array;
+  mutable vals : int array;
+  mutable mask : int;  (* capacity - 1; capacity is a power of two *)
+  mutable count : int;
+}
+
+let initial_capacity = 64
+
+let create ?(capacity = initial_capacity) () =
+  let cap = ref 8 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  { keys = Array.make !cap (-1); vals = Array.make !cap 0; mask = !cap - 1; count = 0 }
+
+let length t = t.count
+
+(* Fibonacci multiplicative hash: spreads dense line addresses (which are
+   allocated sequentially from 0) across the table. *)
+let slot_of t key = (key * 0x9E3779B1) lsr 8 land t.mask
+
+let rec find_slot t key i =
+  let k = t.keys.(i) in
+  if k = key || k = -1 then i else find_slot t key ((i + 1) land t.mask)
+
+let mem t key = t.keys.(find_slot t key (slot_of t key)) = key
+
+let find_opt t key =
+  let i = find_slot t key (slot_of t key) in
+  if t.keys.(i) = key then Some t.vals.(i) else None
+
+let find t key ~default =
+  let i = find_slot t key (slot_of t key) in
+  if t.keys.(i) = key then t.vals.(i) else default
+
+let grow t =
+  let okeys = t.keys and ovals = t.vals in
+  let cap = 2 * Array.length okeys in
+  t.keys <- Array.make cap (-1);
+  t.vals <- Array.make cap 0;
+  t.mask <- cap - 1;
+  t.count <- 0;
+  for i = 0 to Array.length okeys - 1 do
+    if okeys.(i) >= 0 then begin
+      let j = find_slot t okeys.(i) (slot_of t okeys.(i)) in
+      t.keys.(j) <- okeys.(i);
+      t.vals.(j) <- ovals.(i);
+      t.count <- t.count + 1
+    end
+  done
+
+let set t key v =
+  if key < 0 then invalid_arg "Itbl.set: negative key";
+  let i = find_slot t key (slot_of t key) in
+  if t.keys.(i) = key then t.vals.(i) <- v
+  else begin
+    t.keys.(i) <- key;
+    t.vals.(i) <- v;
+    t.count <- t.count + 1;
+    (* keep load factor under 2/3 so probe chains stay short *)
+    if 3 * t.count > 2 * (t.mask + 1) then grow t
+  end
+
+(* Backward-shift deletion: close the hole by moving any later entry of
+   the same probe chain into it, so lookups never need tombstones. An
+   entry at [j] (home slot [h]) may fill hole [i] iff walking forward
+   from [h] reaches [i] no later than [j]. *)
+let remove t key =
+  let i = ref (find_slot t key (slot_of t key)) in
+  if t.keys.(!i) = key then begin
+    t.count <- t.count - 1;
+    let j = ref !i in
+    let continue = ref true in
+    while !continue do
+      j := (!j + 1) land t.mask;
+      let k = t.keys.(!j) in
+      if k = -1 then begin
+        t.keys.(!i) <- -1;
+        continue := false
+      end
+      else begin
+        let h = slot_of t k in
+        if (!j - h) land t.mask >= (!j - !i) land t.mask then begin
+          t.keys.(!i) <- k;
+          t.vals.(!i) <- t.vals.(!j);
+          i := !j
+        end
+      end
+    done
+  end
+
+let iter f t =
+  for i = 0 to t.mask do
+    if t.keys.(i) >= 0 then f t.keys.(i) t.vals.(i)
+  done

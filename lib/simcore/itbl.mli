@@ -1,0 +1,25 @@
+(** Open-addressing [int -> int] hash table for simulator hot paths.
+
+    Linear probing with backward-shift deletion — no per-binding
+    allocation, no tombstones. Keys must be non-negative. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is rounded up to a power of two (default 64). *)
+
+val length : t -> int
+val mem : t -> int -> bool
+val find_opt : t -> int -> int option
+
+val find : t -> int -> default:int -> int
+(** Allocation-free lookup. *)
+
+val set : t -> int -> int -> unit
+(** Insert or overwrite. Raises [Invalid_argument] on a negative key. *)
+
+val remove : t -> int -> unit
+(** Idempotent. *)
+
+val iter : (int -> int -> unit) -> t -> unit
+(** Unspecified order. *)

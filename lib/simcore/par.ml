@@ -1,0 +1,48 @@
+(* Deterministic fan-out of independent jobs over OCaml 5 domains.
+
+   Each thunk is an isolated single-threaded simulation (its own machine,
+   scheduler, PRNGs); the only sharing is the work-index counter and the
+   per-index result slots, each written by exactly one domain and read
+   after [Domain.join] — so results are data-race free and, crucially,
+   *identical* to running the thunks sequentially. Callers merge in index
+   order, which is what makes parallel output byte-identical to [jobs:1].
+
+   A thunk that raises does not abort the others: every job still runs,
+   then the exception of the lowest failing index is re-raised — the same
+   exception a sequential left-to-right loop would have surfaced first. *)
+
+let in_worker_key = Domain.DLS.new_key (fun () -> false)
+
+let in_worker () = Domain.DLS.get in_worker_key
+
+let map ~jobs thunks =
+  let n = Array.length thunks in
+  if jobs <= 1 || n <= 1 then Array.map (fun f -> f ()) thunks
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      Domain.DLS.set in_worker_key true;
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          match thunks.(i) () with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
+      done;
+      Domain.DLS.set in_worker_key false
+    in
+    let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    (* the calling domain participates instead of idling *)
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors;
+    Array.map (function Some v -> v | None -> assert false) results
+  end

@@ -1,0 +1,14 @@
+(** Deterministic fan-out of independent jobs over OCaml 5 domains. *)
+
+val map : jobs:int -> (unit -> 'a) array -> 'a array
+(** [map ~jobs thunks] runs every thunk and returns results in thunk
+    order. [jobs <= 1] runs sequentially in the calling domain; otherwise
+    up to [jobs] domains (the caller included) drain the jobs. Thunks must
+    not share mutable state. If any thunk raises, all jobs still run, then
+    the exception of the lowest failing index is re-raised — matching what
+    a sequential loop would have surfaced first. *)
+
+val in_worker : unit -> bool
+(** True while the calling domain is executing a thunk inside a parallel
+    [map] — including the caller's own share. Used by the bench layer to
+    flag accidental writes to driver-global state from inside a point. *)

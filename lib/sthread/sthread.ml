@@ -36,9 +36,18 @@ type tstate = {
   mutable timed_out : bool;
 }
 
+(* The event queue's payload. The two hot cases — resuming a suspended
+   thread, and waking a parked one — carry their state and continuation
+   directly instead of capturing them in a fresh closure per scheduling
+   point; [Thunk] covers the rare cases (spawn, timers via [at]). *)
+type event =
+  | Resume of tstate * (unit, unit) Effect.Deep.continuation
+  | Wake of tstate * (unit, unit) Effect.Deep.continuation
+  | Thunk of (unit -> unit)
+
 type t = {
   m : Machine.t;
-  events : (unit -> unit) Heap.t;
+  events : event Heap.t;
   mutable time : int;
   mutable live : int;
   mutable next_tid : int;
@@ -50,12 +59,18 @@ type t = {
   mutable tracer : (trace_ev -> unit) option;
 }
 
-(* The scheduler runs on a single OS thread, so "the thread currently
-   executing" is a plain module-level slot set before each resumption. *)
-let current : (t * tstate) option ref = ref None
+(* "The thread currently executing" is a slot set before each resumption.
+   Each scheduler runs on a single domain, but the parallel experiment
+   runner (Dps_simcore.Par) runs independent schedulers on *different*
+   domains concurrently, so the slot is domain-local state, not a plain
+   module-level ref — that was the one piece of simulator state shared
+   across experiment points. *)
+let current_key : (t * tstate) option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let current () = Domain.DLS.get current_key
 
 let ctx () =
-  match !current with
+  match !(current ()) with
   | Some c -> c
   | None -> failwith "Sthread: called from outside a simulated thread"
 
@@ -95,12 +110,9 @@ let exit () =
   raise Killed
 
 (* Resume a parked thread: the hardware thread was released while blocked
-   (the hyperthread pair is genuinely idle), so re-activate it first. *)
-let resume_parked t (state : tstate) k =
-  Heap.push t.events ~time:t.time (fun () ->
-      Machine.set_active t.m ~thread:state.hw true;
-      current := Some (t, state);
-      if state.killed then Effect.Deep.discontinue k Killed else Effect.Deep.continue k ())
+   (the hyperthread pair is genuinely idle), so re-activate it first —
+   [Wake] carries that extra [set_active] in the run loop. *)
+let resume_parked t (state : tstate) k = Heap.push t.events ~time:t.time (Wake (state, k))
 
 let kill t ~tid =
   match Hashtbl.find_opt t.states tid with
@@ -120,7 +132,10 @@ let unpark t ~tid =
   | Some state ->
       emit t
         (T_unpark
-           { src = (match !current with Some (t', s) when t' == t -> Some s.tid | _ -> None); dst = tid });
+           {
+             src = (match !(current ()) with Some (t', s) when t' == t -> Some s.tid | _ -> None);
+             dst = tid;
+           });
       (match state.parked with
       | Some k ->
           state.parked <- None;
@@ -130,9 +145,11 @@ let unpark t ~tid =
 
 let at t ~time f =
   if time < t.time then invalid_arg "Sthread.at: time in the past";
-  Heap.push t.events ~time (fun () ->
-      current := None;
-      f ())
+  Heap.push t.events ~time
+    (Thunk
+       (fun () ->
+         current () := None;
+         f ()))
 
 (* Retire a thread — normal return, voluntary [exit], or [kill]. Exit hooks
    run with [current] still pointing at the dying thread, but must not
@@ -179,17 +196,13 @@ let rec exec t state f =
                       | None -> 0
                       | Some hook -> max 0 (hook ~tid:state.tid ~now:t.time ~tag ~cycles:n))
                   in
-                  Heap.push t.events ~time:(t.time + max 0 n + delay) (fun () ->
-                      current := Some (t, state);
-                      if state.killed then discontinue k Killed else continue k ()))
+                  Heap.push t.events ~time:(t.time + max 0 n + delay) (Resume (state, k)))
           | Park ->
               Some
                 (fun (k : (a, unit) continuation) ->
                   if state.permit || state.killed then begin
                     state.permit <- false;
-                    Heap.push t.events ~time:t.time (fun () ->
-                        current := Some (t, state);
-                        if state.killed then discontinue k Killed else continue k ())
+                    Heap.push t.events ~time:t.time (Resume (state, k))
                   end
                   else begin
                     (* Blocked threads release the core: the hyperthread
@@ -220,34 +233,44 @@ and spawn t ~hw f =
   emit t
     (T_spawn
        {
-         parent = (match !current with Some (t', s) when t' == t -> Some s.tid | _ -> None);
+         parent = (match !(current ()) with Some (t', s) when t' == t -> Some s.tid | _ -> None);
          child = state.tid;
        });
   Machine.set_active t.m ~thread:hw true;
-  Heap.push t.events ~time:t.time (fun () ->
-      current := Some (t, state);
-      if state.killed then retire t state else exec t state f)
+  Heap.push t.events ~time:t.time
+    (Thunk
+       (fun () ->
+         current () := Some (t, state);
+         if state.killed then retire t state else exec t state f))
 
 let run ?until t =
-  let saved = !current in
+  let cur = current () in
+  let saved = !cur in
+  let limit = match until with Some u -> u | None -> max_int in
   Fun.protect
-    ~finally:(fun () -> current := saved)
+    ~finally:(fun () -> cur := saved)
     (fun () ->
       let keep_going = ref true in
       while !keep_going do
-        match Heap.min_time t.events with
-        | None -> keep_going := false
-        | Some tm when (match until with Some u -> tm > u | None -> false) ->
-            keep_going := false
-        | Some _ -> (
-            match Heap.pop t.events with
-            | None -> keep_going := false
-            | Some (tm, thunk) ->
-                t.time <- tm;
-                thunk ())
+        (* [next_time]/[take] instead of [min_time]/[pop]: the drain loop
+           allocates nothing per event. *)
+        let tm = Heap.next_time t.events in
+        if tm = max_int || tm > limit then keep_going := false
+        else begin
+          t.time <- tm;
+          match Heap.take t.events with
+          | Resume (state, k) ->
+              cur := Some (t, state);
+              if state.killed then Effect.Deep.discontinue k Killed else Effect.Deep.continue k ()
+          | Wake (state, k) ->
+              Machine.set_active t.m ~thread:state.hw true;
+              cur := Some (t, state);
+              if state.killed then Effect.Deep.discontinue k Killed else Effect.Deep.continue k ()
+          | Thunk f -> f ()
+        end
       done)
 
-let in_sim () = !current <> None
+let in_sim () = !(current ()) <> None
 let self_hw () = (snd (ctx ())).hw
 let self_id () = (snd (ctx ())).tid
 let self_prng () = (snd (ctx ())).prng

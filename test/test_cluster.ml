@@ -71,6 +71,60 @@ let test_ring_successor () =
   Alcotest.check_raises "removing the last node raises"
     (Invalid_argument "Ring.remove: removing the last node") (fun () -> Ring.remove r 0)
 
+(* --- qcheck ring properties --- *)
+
+(* Replay an add/remove script; removals that would empty the ring are
+   skipped (both copies skip them identically). *)
+let apply_ops r ops =
+  List.iter
+    (fun (add, node) ->
+      if add then Ring.add r node else if Ring.size r > 1 then Ring.remove r node)
+    ops
+
+let qcheck_ring_replay =
+  QCheck.Test.make ~name:"ring: membership script replays to identical owners" ~count:100
+    QCheck.(list (pair bool (int_bound 7)))
+    (fun ops ->
+      let a = Ring.create ~nnodes:4 () and b = Ring.create ~nnodes:4 () in
+      apply_ops a ops;
+      apply_ops b ops;
+      Ring.nodes a = Ring.nodes b
+      && List.for_all (fun k -> Ring.lookup a k = Ring.lookup b k) (List.init 512 Fun.id))
+
+let qcheck_ring_add_movement =
+  QCheck.Test.make ~name:"ring: add moves a bounded key share, all of it to the newcomer"
+    ~count:60
+    QCheck.(pair (int_range 1 7) (int_range 8 15))
+    (fun (nnodes, newcomer) ->
+      let r = Ring.create ~nnodes () in
+      let nkeys = 4096 in
+      let before = Array.init nkeys (Ring.lookup r) in
+      Ring.add r newcomer;
+      let moved = ref 0 and misdirected = ref 0 in
+      for k = 0 to nkeys - 1 do
+        let now = Ring.lookup r k in
+        if now <> before.(k) then begin
+          incr moved;
+          if now <> newcomer then incr misdirected
+        end
+      done;
+      (* the newcomer's fair share is 1/(nnodes+1); 64 vnodes keeps the
+         realized share well inside 3x of it *)
+      let expect = nkeys / (nnodes + 1) in
+      !misdirected = 0 && !moved > 0 && !moved < 3 * expect)
+
+let qcheck_ring_remove_add_roundtrip =
+  QCheck.Test.make ~name:"ring: remove then re-add restores every owner" ~count:60
+    QCheck.(pair (int_range 2 8) (int_bound 7))
+    (fun (nnodes, victim) ->
+      QCheck.assume (victim < nnodes);
+      let r = Ring.create ~nnodes () in
+      let nkeys = 2048 in
+      let before = Array.init nkeys (Ring.lookup r) in
+      Ring.remove r victim;
+      Ring.add r victim;
+      Ring.nodes r = List.init nnodes Fun.id && Array.init nkeys (Ring.lookup r) = before)
+
 (* --- cluster end-to-end --- *)
 
 let items = 2048
@@ -187,6 +241,9 @@ let suite =
     ("ring coverage and determinism", `Quick, test_ring_coverage);
     ("ring remove stability", `Quick, test_ring_remove_stability);
     ("ring successor", `Quick, test_ring_successor);
+    QCheck_alcotest.to_alcotest qcheck_ring_replay;
+    QCheck_alcotest.to_alcotest qcheck_ring_add_movement;
+    QCheck_alcotest.to_alcotest qcheck_ring_remove_add_roundtrip;
     ("cluster end to end", `Quick, test_cluster_end_to_end);
     ("cluster deterministic replay", `Quick, test_cluster_deterministic);
     ("node kill -> failover, exactly-once", `Quick, test_cluster_kill_failover);

@@ -21,4 +21,5 @@ let () =
       ("batch", Test_batch.suite);
       ("obs", Test_obs.suite);
       ("adapt", Test_adapt.suite);
+      ("determinism", Test_determinism.suite);
     ]
