@@ -64,6 +64,11 @@ let () =
           Printf.printf "[%s] %d points, %d failures, %d warnings\n%!" name v.Regress.compared
             (List.length v.Regress.failures)
             (List.length v.Regress.warnings);
+          (match Regress.summary fresh with
+          | Some line ->
+              Format.fprintf ppf "- summary: %s@.@." line;
+              Printf.printf "[%s] %s\n%!" name line
+          | None -> ());
           List.iter (fun f -> Printf.eprintf "[%s] FAIL: %s\n%!" name f) v.Regress.failures;
           List.iter (fun w -> Printf.printf "[%s] warn: %s\n%!" name w) v.Regress.warnings)
     !names;

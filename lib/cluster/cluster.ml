@@ -21,6 +21,7 @@ type config = {
   backend : backend_kind;
   probe_interval : int;
   server : Server.config;  (** template; npollers/acceptor placement overridden *)
+  net : Net.config;  (** per-node network front-end template *)
 }
 
 let default_config =
@@ -35,6 +36,7 @@ let default_config =
     backend = Dps_mc;
     probe_interval = 25_000;
     server = { Server.default_config with max_conns = 512; shed_threshold = 24 };
+    net = Net.default_config;
   }
 
 type node = {
@@ -84,9 +86,13 @@ let mk_backend sched (cfg : config) ~placement ~on_apply =
     | Dps_mc -> Variants.dps_mc
     | Dps_parsec -> Variants.dps_parsec
   in
-  mk sched ~self_healing:true ~batch:cfg.batch ~placement ~on_set_applied:on_apply
-    ~nclients:cfg.npollers ~locality_size:cfg.locality_size ~buckets:cfg.buckets
-    ~capacity:cfg.capacity ()
+  (* a front-cached server needs per-key versions to validate against; 4x
+     the bucket count keeps version-slot aliasing (false invalidation
+     only) rare without growing the table's line footprint much *)
+  let versions = if cfg.server.Server.front_cache > 0 then 4 * cfg.buckets else 0 in
+  mk sched ~self_healing:true ~batch:cfg.batch ~versions ~placement
+    ~on_set_applied:on_apply ~nclients:cfg.npollers ~locality_size:cfg.locality_size
+    ~buckets:cfg.buckets ~capacity:cfg.capacity ()
 
 let create sched ?(on_set_applied = fun ~node:_ ~tag:_ -> ()) cfg =
   if cfg.nnodes < 2 then invalid_arg "Cluster.create: need at least 2 nodes";
@@ -96,7 +102,7 @@ let create sched ?(on_set_applied = fun ~node:_ ~tag:_ -> ()) cfg =
         let socket, pollers, acceptor_hw =
           node_placement topo ~nnodes:cfg.nnodes ~npollers:cfg.npollers id
         in
-        let net = Net.create sched () in
+        let net = Net.create sched ~config:cfg.net () in
         let backend =
           mk_backend sched cfg ~placement:pollers
             ~on_apply:(fun tag -> on_set_applied ~node:id ~tag)

@@ -37,11 +37,18 @@ type config = {
   backend : backend_kind;
   probe_interval : int;  (** health-probe period, cycles *)
   server : Server.config;  (** template; npollers/acceptor placement overridden *)
+  net : Net.config;
+      (** per-node network front-end template. Fleet-scale runs shrink
+          [ring_lines] here: per-connection ring footprint is what bounds
+          a >=250k-connection stage's memory, not the payload. When the
+          server template asks for a front cache ([front_cache] > 0) the
+          node backends are built with [~versions] = 4x[buckets] so the
+          cache has a version table to validate against. *)
 }
 
 val default_config : config
 (** 4 nodes x 8 pollers, dps_mc backend, 64 vnodes, 25k-cycle probe,
-    512-connection / shed-at-24 server template. *)
+    512-connection / shed-at-24 server template, default net config. *)
 
 type node = {
   id : int;

@@ -222,6 +222,14 @@ type 'a t = {
   flips_pid : int array;  (* per partition: mode transitions *)
   lat_sum_pid : int array;  (* per partition: sum of issue->done latencies *)
   lat_cnt_pid : int array;  (* per partition: completed remote ops measured *)
+  (* per-key version table for delegation-coherent front caches. Slots are
+     global (not per partition) so a version survives partition failover and
+     re-issue: the counter only ever grows, wherever the write re-applies.
+     Both fields stay unallocated when [versions] = 0, so the default keeps
+     the address layout — and thus cycle accounting — bit-identical. *)
+  mutable vers : int array;
+  mutable vers_base : int;  (* charged base line, 8 slots per line; -1 = off *)
+  mutable n_bumps : int;
 }
 
 let npartitions t = Array.length t.partitions
@@ -234,6 +242,39 @@ let partition_of_key t key =
   t.ns_table.(b)
 let partition_data t pid = t.partitions.(pid).data
 let client_hw t i = t.placement.(i)
+
+(* --- per-key versions (delegation-coherent front-cache invalidation) --- *)
+
+let versioned t = t.vers_base >= 0
+
+(* A second mix on top of the user hash: the memcached variants use the
+   identity hash, and strided keys must not alias systematically. *)
+let vslot t key =
+  let h = t.hash key * 0x9E3779B1 in
+  let h = h lxor (h lsr 15) in
+  (h land max_int) mod Array.length t.vers
+
+let bump_version t ~key =
+  if t.vers_base >= 0 then begin
+    let s = vslot t key in
+    t.vers.(s) <- t.vers.(s) + 1;
+    t.n_bumps <- t.n_bumps + 1;
+    (* a publishing store, charged to whichever thread applies the write:
+       the serving thread under delegation, the lock holder in direct mode *)
+    Simops.write_release (t.vers_base + (s / 8))
+  end
+
+let read_version t ~key =
+  if t.vers_base < 0 then 0
+  else begin
+    let s = vslot t key in
+    (* racy by design: a cached entry validated against a torn-stale value
+       only fails conservatively (false invalidation), never serves stale *)
+    Simops.read_racy (t.vers_base + (s / 8));
+    t.vers.(s)
+  end
+
+let version_bumps t = t.n_bumps
 let delegated_ops t = t.n_delegated
 let local_ops t = t.n_local
 let batch_flushes t = t.n_flushes
@@ -380,7 +421,7 @@ let handle_exit t sid =
 let create sched ~nclients ~locality_size ~hash ?ns_sz ?(ring_slots = 16) ?(check_budget = 4)
     ?(marshal_cost = 100) ?(dispatch_cost = 250) ?(dedicated_pollers = false)
     ?(self_healing = false) ?(await_timeout = 50_000) ?(batch = 1) ?(batch_age = 1500)
-    ?(adaptive = false) ?(direct = false) ?placement ~mk_data () =
+    ?(adaptive = false) ?(direct = false) ?(versions = 0) ?placement ~mk_data () =
   assert (nclients > 0 && locality_size > 0);
   (* [direct] starts every partition in direct mode (the static-CNA
      baseline); it needs the adaptive machinery even with no controller *)
@@ -492,6 +533,9 @@ let create sched ~nclients ~locality_size ~hash ?ns_sz ?(ring_slots = 16) ?(chec
       flips_pid = Array.make nparts 0;
       lat_sum_pid = Array.make nparts 0;
       lat_cnt_pid = Array.make nparts 0;
+      vers = [||];
+      vers_base = -1;
+      n_bumps = 0;
     }
   in
   (* adaptive-only allocations come strictly last, after every static
@@ -504,6 +548,11 @@ let create sched ~nclients ~locality_size ~hash ?ns_sz ?(ring_slots = 16) ?(chec
       t.partitions;
     t.dlocks <- Array.map (fun p -> Cna.create p.info.alloc m) t.partitions
   end;
+  (* the version table follows the same allocate-last rule *)
+  if versions > 0 then begin
+    t.vers <- Array.make versions 0;
+    t.vers_base <- Machine.alloc m Machine.Interleave ~lines:((versions + 7) / 8)
+  end;
   Sthread.on_exit sched (handle_exit t);
   t
 
@@ -515,11 +564,20 @@ let attach t ~client =
   let my_index = client mod t.locality_size in
   (* §4.3: the flat array of a partition's rings is divided across the
      cores of that locality, so peers serve disjoint rings without
-     synchronization. *)
+     synchronization. A tail locality (nclients not a multiple of
+     locality_size) has fewer members than ring indices, so the division
+     folds onto the members that exist — without the fold, rings at the
+     missing indices are served by nobody and every delegation into them
+     waits out the awaiter's full escalation timeout. For full localities
+     the fold is the identity, so the ring-to-server map (and the charge
+     stream) is unchanged. *)
+  let nmembers = min t.locality_size (t.nclients - (my_pid * t.locality_size)) in
   let served =
     Array.of_list
       (List.filter_map
-         (fun c -> if c mod t.locality_size = my_index then Some (my_pid, c) else None)
+         (fun c ->
+           if c mod t.locality_size mod nmembers = my_index then Some (my_pid, c)
+           else None)
          (List.init t.nclients Fun.id))
   in
   let cl =
@@ -1464,6 +1522,9 @@ let register_obs ?(labels = []) t reg =
     g "mode_flips_to_delegated" "partitions migrated direct -> delegated" (fun () ->
         float_of_int t.n_to_delegated)
   end;
+  if versioned t then
+    g "version_bumps" "per-key version increments by applied writes" (fun () ->
+        float_of_int t.n_bumps);
   Array.iter
     (fun p ->
       let pid = p.info.pid in

@@ -57,6 +57,7 @@ val create :
   ?batch_age:int ->
   ?adaptive:bool ->
   ?direct:bool ->
+  ?versions:int ->
   ?placement:int array ->
   mk_data:(partition_info -> 'a) ->
   unit ->
@@ -113,7 +114,14 @@ val create :
     time, made dynamic. With [adaptive = false] the protocol, address
     layout and cycle accounting are bit-identical to previous behaviour.
     [direct] (default false, implies [adaptive]) starts every partition in
-    direct mode — the static direct-locking baseline. *)
+    direct mode — the static direct-locking baseline.
+
+    [versions] (default 0) allocates a global table of that many per-key
+    version slots (8 per charged line, interleaved across the machine's
+    nodes like the namespace table). Writers call {!bump_version} from
+    inside their apply closures; read-side caches validate entries with
+    {!read_version}. With [versions = 0] nothing is allocated and the
+    address layout stays bit-identical. *)
 
 val npartitions : 'a t -> int
 
@@ -122,6 +130,29 @@ val partition_of_key : 'a t -> int -> int
 
 val bucket_of_key : 'a t -> int -> int
 val bucket_owner : 'a t -> bucket:int -> int
+
+(** {1 Per-key versions (requires [~versions] > 0 at {!create})} *)
+
+val versioned : 'a t -> bool
+(** [true] when the instance carries a version table. *)
+
+val bump_version : 'a t -> key:int -> unit
+(** Increment [key]'s version slot with a charged releasing store. Call
+    from inside the closure that applies a write, so the charge lands on
+    whichever thread actually serves it (the owning partition's server
+    under delegation, the CNA holder in direct mode) and the bump is
+    ordered after the write it publishes. Monotonic, so the duplicate bump
+    of an exactly-once re-issue is benign. Slots are keyed by a second hash
+    mix; a collision only over-invalidates. No-op when versions are off. *)
+
+val read_version : 'a t -> key:int -> int
+(** Current version of [key]'s slot — one charged racy-by-design read
+    (excluded from the race detector; see DESIGN.md §10: a reader that
+    caches a value with a version observed {e before} fetching it can only
+    err toward a false invalidation). [0] when versions are off. *)
+
+val version_bumps : 'a t -> int
+(** Total {!bump_version} calls that hit an armed table. *)
 
 val rebalance :
   'a t ->

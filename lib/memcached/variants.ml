@@ -30,6 +30,10 @@ type t = {
       (** bounded background duty for an idle client (DPS ring draining);
           returns the number of operations served so the caller can tell a
           useful round from an empty one *)
+  version_of : (int -> int) option;
+      (** charged read of a key's write-version — the validation side of a
+          delegation-coherent front cache; [None] unless the variant was
+          built with [~versions] > 0 *)
   health : (unit -> Dps.health) option;
       (** watchdog snapshot for variants with a self-healing runtime *)
   register_obs : (labels:(string * string) list -> Dps_obs.Registry.t -> unit) option;
@@ -60,6 +64,7 @@ let shared sched ~name ~recency ~nclients ~buckets ~capacity =
       (fun ~keys ~val_lines -> Array.iter (fun key -> Mc_core.set core ~key ~val_lines) keys);
     client_hw = default_placement sched nclients;
     idle = None;
+    version_of = None;
     health = None;
     register_obs = None;
   }
@@ -98,17 +103,18 @@ let ffwd_mc sched ~nclients ~buckets ~capacity =
       (fun ~keys ~val_lines -> Array.iter (fun key -> Mc_core.set core ~key ~val_lines) keys);
     client_hw = (fun i -> placement.(1 + (i mod (nplaced - 1))) (* skip the server's slot *));
     idle = None;
+    version_of = None;
     health = None;
     register_obs = None;
   }
 
 let dps_generic sched ~name ~recency ~get_mode ?(self_healing = false) ?(batch = 1)
-    ?(batch_age = 1500) ?(adaptive = false) ?(direct = false) ?on_created ?placement
-    ?on_set_applied ~nclients ~locality_size ~buckets ~capacity () =
+    ?(batch_age = 1500) ?(adaptive = false) ?(direct = false) ?(versions = 0) ?on_created
+    ?placement ?on_set_applied ~nclients ~locality_size ~buckets ~capacity () =
   let nparts = (nclients + locality_size - 1) / locality_size in
   let dps =
     Dps.create sched ~nclients ~locality_size ~self_healing ~batch ~batch_age ~adaptive
-      ~direct ?placement
+      ~direct ~versions ?placement
       ~hash:(fun k -> k)
       ~mk_data:(fun (info : Dps.partition_info) ->
         Mc_core.create info.Dps.alloc
@@ -121,6 +127,9 @@ let dps_generic sched ~name ~recency ~get_mode ?(self_healing = false) ?(batch =
   let do_set ~key ~val_lines ~tag =
     Dps.execute_async dps ~key (fun core ->
         Mc_core.set core ~key ~val_lines;
+        (* version first, hook second: when the exactly-once ledger records
+           the apply, every front cache entry for [key] is already stale *)
+        Dps.bump_version dps ~key;
         (* the hook fires when the write lands on the partition — under
            delegation that is inside the serving thread, not the issuer *)
         (match on_set_applied with Some f -> f tag | None -> ());
@@ -136,7 +145,13 @@ let dps_generic sched ~name ~recency ~get_mode ?(self_healing = false) ?(batch =
         | `Delegate -> Dps.call dps ~key op
         | `Local -> Dps.execute_local dps ~key op)
         = 1);
-    del = (fun key -> Dps.call dps ~key (fun core -> if Mc_core.delete core key then 1 else 0) = 1);
+    del =
+      (fun key ->
+        Dps.call dps ~key (fun core ->
+            let found = Mc_core.delete core key in
+            if found then Dps.bump_version dps ~key;
+            if found then 1 else 0)
+        = 1);
     set = (fun ~key ~val_lines -> do_set ~key ~val_lines ~tag:0);
     set_tagged = Some do_set;
     finish =
@@ -158,30 +173,32 @@ let dps_generic sched ~name ~recency ~get_mode ?(self_healing = false) ?(batch =
              an idle event loop must not sit on a partial batch *)
           Dps.flush_pending dps;
           Dps.serve dps ~max:16);
+    version_of =
+      (if Dps.versioned dps then Some (fun key -> Dps.read_version dps ~key) else None);
     health = Some (fun () -> Dps.health dps);
     register_obs = Some (fun ~labels reg -> Dps.register_obs ~labels dps reg);
   }
 
-let dps_mc sched ?self_healing ?batch ?batch_age ?placement ?on_set_applied ~nclients
-    ~locality_size ~buckets ~capacity () =
-  dps_generic sched ~name:"dps" ~recency:Mc_core.Lru_list ~get_mode:`Delegate ?self_healing
-    ?batch ?batch_age ?placement ?on_set_applied ~nclients ~locality_size ~buckets ~capacity
-    ()
-
-let dps_parsec sched ?self_healing ?batch ?batch_age ?placement ?on_set_applied ~nclients
-    ~locality_size ~buckets ~capacity () =
-  dps_generic sched ~name:"dps-parsec" ~recency:Mc_core.Clock ~get_mode:`Local ?self_healing
-    ?batch ?batch_age ?placement ?on_set_applied ~nclients ~locality_size ~buckets ~capacity
-    ()
-
-let dps_direct sched ?self_healing ?batch ?batch_age ?placement ?on_set_applied ~nclients
-    ~locality_size ~buckets ~capacity () =
-  dps_generic sched ~name:"direct-cna" ~recency:Mc_core.Lru_list ~get_mode:`Delegate
-    ?self_healing ?batch ?batch_age ~direct:true ?placement ?on_set_applied ~nclients
-    ~locality_size ~buckets ~capacity ()
-
-let adaptive sched ?self_healing ?batch ?batch_age ?policy ?placement ?on_set_applied
+let dps_mc sched ?self_healing ?batch ?batch_age ?versions ?placement ?on_set_applied
     ~nclients ~locality_size ~buckets ~capacity () =
+  dps_generic sched ~name:"dps" ~recency:Mc_core.Lru_list ~get_mode:`Delegate ?self_healing
+    ?batch ?batch_age ?versions ?placement ?on_set_applied ~nclients ~locality_size ~buckets
+    ~capacity ()
+
+let dps_parsec sched ?self_healing ?batch ?batch_age ?versions ?placement ?on_set_applied
+    ~nclients ~locality_size ~buckets ~capacity () =
+  dps_generic sched ~name:"dps-parsec" ~recency:Mc_core.Clock ~get_mode:`Local ?self_healing
+    ?batch ?batch_age ?versions ?placement ?on_set_applied ~nclients ~locality_size ~buckets
+    ~capacity ()
+
+let dps_direct sched ?self_healing ?batch ?batch_age ?versions ?placement ?on_set_applied
+    ~nclients ~locality_size ~buckets ~capacity () =
+  dps_generic sched ~name:"direct-cna" ~recency:Mc_core.Lru_list ~get_mode:`Delegate
+    ?self_healing ?batch ?batch_age ~direct:true ?versions ?placement ?on_set_applied
+    ~nclients ~locality_size ~buckets ~capacity ()
+
+let adaptive sched ?self_healing ?batch ?batch_age ?policy ?versions ?placement
+    ?on_set_applied ~nclients ~locality_size ~buckets ~capacity () =
   let m = Sthread.machine sched in
   let ctrl_hw = Topology.nthreads (Machine.topology m) - 1 in
   dps_generic sched ~name:"adaptive" ~recency:Mc_core.Lru_list ~get_mode:`Delegate
@@ -190,4 +207,4 @@ let adaptive sched ?self_healing ?batch ?batch_age ?policy ?placement ?on_set_ap
       (* the controller shares the last hardware thread; it parks through
          most of its life, so the co-resident client barely notices *)
       Sthread.spawn sched ~hw:ctrl_hw (fun () -> Dps_adapt.Adapt.run ?policy dps))
-    ?placement ?on_set_applied ~nclients ~locality_size ~buckets ~capacity ()
+    ?versions ?placement ?on_set_applied ~nclients ~locality_size ~buckets ~capacity ()

@@ -25,6 +25,10 @@ type t = {
           any staged request batch of their own. Bounded work per call;
           returns the number of operations served so callers can adapt
           their polling (spin while busy, park when repeatedly empty). *)
+  version_of : (int -> int) option;
+      (** charged read of a key's current write-version — the validation
+          side of a delegation-coherent front cache (see DESIGN.md §10).
+          [None] unless the variant was built with [~versions] > 0. *)
   health : (unit -> Dps.health) option;
       (** watchdog snapshot for variants with a self-healing runtime (DPS):
           the cluster health probe reads this to detect node death without
@@ -53,6 +57,7 @@ val dps_mc :
   ?self_healing:bool ->
   ?batch:int ->
   ?batch_age:int ->
+  ?versions:int ->
   ?placement:int array ->
   ?on_set_applied:(int -> unit) ->
   nclients:int ->
@@ -68,13 +73,18 @@ val dps_mc :
     request coalescing. [placement] overrides the default whole-machine
     client placement (cluster mode confines each node's backend to its own
     socket); [on_set_applied] receives the [set_tagged] tag when the write
-    lands. *)
+    lands. [versions] > 0 (default 0) allocates a per-key version table of
+    that many slots in {!Dps.create} and enables [version_of]; every
+    applied set or successful delete bumps the key's version {e before}
+    the [on_set_applied] hook fires, so an exactly-once ledger never
+    records an apply whose front-cache entries are still fresh. *)
 
 val dps_parsec :
   Dps_sthread.Sthread.t ->
   ?self_healing:bool ->
   ?batch:int ->
   ?batch_age:int ->
+  ?versions:int ->
   ?placement:int array ->
   ?on_set_applied:(int -> unit) ->
   nclients:int ->
@@ -91,6 +101,7 @@ val dps_direct :
   ?self_healing:bool ->
   ?batch:int ->
   ?batch_age:int ->
+  ?versions:int ->
   ?placement:int array ->
   ?on_set_applied:(int -> unit) ->
   nclients:int ->
@@ -110,6 +121,7 @@ val adaptive :
   ?batch:int ->
   ?batch_age:int ->
   ?policy:Dps_adapt.Adapt.policy ->
+  ?versions:int ->
   ?placement:int array ->
   ?on_set_applied:(int -> unit) ->
   nclients:int ->

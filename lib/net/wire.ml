@@ -17,6 +17,18 @@ type response =
 
 let crlf = "\r\n"
 
+(* Decimal append without the Printf machinery: the encoders run once per
+   request per wire send and once per response per service round, so the
+   format-interpretation and intermediate-string cost of [sprintf] was the
+   bulk of the encode path. Digits go most-significant first. *)
+let rec add_uint b n =
+  if n >= 10 then add_uint b (n / 10);
+  Buffer.add_char b (Char.unsafe_chr (Char.code '0' + (n mod 10)))
+
+let add_int b n =
+  if n < 0 then Buffer.add_string b (string_of_int n) (* cold: never on the hot path *)
+  else add_uint b n
+
 let encode_request b = function
   | Get keys ->
       if keys = [] then invalid_arg "Wire.encode_request: get with no keys";
@@ -28,21 +40,35 @@ let encode_request b = function
         keys;
       Buffer.add_string b crlf
   | Set { key; flags; exptime; data; noreply } ->
-      Buffer.add_string b
-        (Printf.sprintf "set %s %d %d %d%s\r\n" key flags exptime (String.length data)
-           (if noreply then " noreply" else ""));
+      Buffer.add_string b "set ";
+      Buffer.add_string b key;
+      Buffer.add_char b ' ';
+      add_int b flags;
+      Buffer.add_char b ' ';
+      add_int b exptime;
+      Buffer.add_char b ' ';
+      add_int b (String.length data);
+      if noreply then Buffer.add_string b " noreply";
+      Buffer.add_string b crlf;
       Buffer.add_string b data;
       Buffer.add_string b crlf
   | Delete { key; noreply } ->
-      Buffer.add_string b
-        (Printf.sprintf "delete %s%s\r\n" key (if noreply then " noreply" else ""))
+      Buffer.add_string b "delete ";
+      Buffer.add_string b key;
+      if noreply then Buffer.add_string b " noreply";
+      Buffer.add_string b crlf
 
 let encode_response b = function
   | Values vs ->
       List.iter
         (fun { vkey; vflags; vdata } ->
-          Buffer.add_string b
-            (Printf.sprintf "VALUE %s %d %d\r\n" vkey vflags (String.length vdata));
+          Buffer.add_string b "VALUE ";
+          Buffer.add_string b vkey;
+          Buffer.add_char b ' ';
+          add_int b vflags;
+          Buffer.add_char b ' ';
+          add_int b (String.length vdata);
+          Buffer.add_string b crlf;
           Buffer.add_string b vdata;
           Buffer.add_string b crlf)
         vs;
@@ -52,8 +78,14 @@ let encode_response b = function
   | Deleted -> Buffer.add_string b "DELETED\r\n"
   | Not_found -> Buffer.add_string b "NOT_FOUND\r\n"
   | Error -> Buffer.add_string b "ERROR\r\n"
-  | Client_error m -> Buffer.add_string b (Printf.sprintf "CLIENT_ERROR %s\r\n" m)
-  | Server_error m -> Buffer.add_string b (Printf.sprintf "SERVER_ERROR %s\r\n" m)
+  | Client_error m ->
+      Buffer.add_string b "CLIENT_ERROR ";
+      Buffer.add_string b m;
+      Buffer.add_string b crlf
+  | Server_error m ->
+      Buffer.add_string b "SERVER_ERROR ";
+      Buffer.add_string b m;
+      Buffer.add_string b crlf
 
 type 'a parse = Item of 'a | Need_more | Bad of { msg : string; reply : response }
 

@@ -116,6 +116,36 @@ let compare ~tolerance ~baseline ~fresh =
     fresh;
   { compared = !compared; failures = List.rev !failures; warnings = List.rev !warnings }
 
+(* One-line fresh-run digest for the job log: mean throughput over the
+   file's points, and — when any point ran with a live front cache — the
+   mean cache hit-rate alongside it, so the perf headline and the
+   mechanism that produced it land on the same line. *)
+let summary fresh =
+  let mean = function
+    | [] -> None
+    | l -> Some (List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l), List.length l)
+  in
+  let pick name r = List.assoc_opt name r.metrics in
+  let tput =
+    List.filter_map
+      (fun r -> match pick "throughput_mops" r with Some v -> Some v | None -> pick "goodput_mops" r)
+      fresh
+    |> mean
+  in
+  let hit =
+    List.filter_map (fun r -> pick "fc_hit_rate" r) fresh
+    |> List.filter (fun v -> v > 0.0)
+    |> mean
+  in
+  match (tput, hit) with
+  | None, _ -> None
+  | Some (t, n), None -> Some (Printf.sprintf "throughput %.2f Mops (mean of %d points)" t n)
+  | Some (t, n), Some (h, m) ->
+      Some
+        (Printf.sprintf
+           "throughput %.2f Mops (mean of %d points); cache hit-rate %.1f%% (mean of %d cached points)"
+           t n (100.0 *. h) m)
+
 let report ppf ~name ~tolerance v =
   Format.fprintf ppf "## %s@." name;
   Format.fprintf ppf "- points compared: %d (tolerance %.0f%%)@." v.compared

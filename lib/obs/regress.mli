@@ -37,6 +37,12 @@ type verdict = {
 
 val compare : tolerance:float -> baseline:record list -> fresh:record list -> verdict
 
+val summary : record list -> string option
+(** One-line digest of a fresh run: mean throughput (from
+    [throughput_mops], falling back to [goodput_mops]) and, when any
+    point carries a nonzero [fc_hit_rate], the mean front-cache hit-rate
+    alongside it. [None] when the records carry no throughput at all. *)
+
 val report :
   Format.formatter -> name:string -> tolerance:float -> verdict -> unit
 (** Markdown fragment for one compared bench file. *)

@@ -20,6 +20,7 @@ type config = {
   park_max : int;
   acceptor_hw : int option;
   shed_threshold : int;
+  front_cache : int;
 }
 
 let default_config =
@@ -34,6 +35,7 @@ let default_config =
     park_max = 16_000;
     acceptor_hw = None;
     shed_threshold = 0;
+    front_cache = 0;
   }
 
 type stats = {
@@ -54,7 +56,6 @@ type stats = {
 type sconn = {
   c : Net.conn;
   dec : Wire.decoder;
-  out : Buffer.t;
   mutable queued : bool;
   mutable dead : bool;  (* close observed and slot released; count once *)
 }
@@ -65,6 +66,12 @@ type poller = {
   socket : int;
   mutable tid : int;  (** simulated thread id, known once the poller runs *)
   ready : sconn Queue.t;
+  out : Buffer.t;
+      (* response scratch, shared by every connection this poller serves: a
+         service round drains it before returning, and rounds never
+         interleave within a poller, so one buffer replaces one-per-conn —
+         the difference between 40 buffers and 250k at fleet scale *)
+  fc : Frontcache.t option;  (* per-poller front cache; None when disabled *)
 }
 
 type t = {
@@ -83,6 +90,18 @@ type t = {
 
 let stats t = t.st
 
+let fc_stats t =
+  let acc = Frontcache.zero_stats () in
+  Array.iter
+    (fun p ->
+      match p.fc with
+      | Some fc -> Frontcache.add_stats ~into:acc (Frontcache.stats fc)
+      | None -> ())
+    t.pollers;
+  acc
+
+let front_cache_on t = Array.exists (fun p -> p.fc <> None) t.pollers
+
 let wake_poller t p = if p.tid >= 0 then ignore (Sthread.unpark t.sched ~tid:p.tid)
 
 let enqueue t p sc =
@@ -93,8 +112,8 @@ let enqueue t p sc =
   end
 
 (* Route one parsed request into the backend and append its response. *)
-let handle t sc req =
-  let out r = Wire.encode_response sc.out r in
+let handle t p req =
+  let out r = Wire.encode_response p.out r in
   t.st.requests <- t.st.requests + 1;
   match req with
   | Wire.Get keys ->
@@ -106,7 +125,13 @@ let handle t sc req =
             | None -> None
             | Some key ->
                 t.st.lookups <- t.st.lookups + 1;
-                if t.backend.Variants.get key then begin
+                let found =
+                  match p.fc with
+                  | Some fc ->
+                      Frontcache.lookup fc key ~fetch:(fun () -> t.backend.Variants.get key)
+                  | None -> t.backend.Variants.get key
+                in
+                if found then begin
                   t.st.hits <- t.st.hits + 1;
                   Some { Wire.vkey = k; vflags = 0; vdata = t.payload }
                 end
@@ -119,6 +144,10 @@ let handle t sc req =
       | Some key ->
           t.st.sets <- t.st.sets + 1;
           let val_lines = max 1 ((String.length data + 63) / 64) in
+          (* drop our own cached entry before forwarding: the delegated
+             write lands asynchronously, but a get on this same poller must
+             already miss and go through the (FIFO-ordered) backend path *)
+          (match p.fc with Some fc -> Frontcache.invalidate fc key | None -> ());
           (* the flags field doubles as a client-chosen operation tag for
              apply-tracking backends (exactly-once ledger in cluster mode) *)
           (match t.backend.Variants.set_tagged with
@@ -132,6 +161,7 @@ let handle t sc req =
       match int_of_string_opt key with
       | Some key ->
           t.st.dels <- t.st.dels + 1;
+          (match p.fc with Some fc -> Frontcache.invalidate fc key | None -> ());
           let found = t.backend.Variants.del key in
           if not noreply then out (if found then Wire.Deleted else Wire.Not_found)
       | None ->
@@ -168,7 +198,7 @@ let service t p sc =
     | Wire.Need_more -> parsing := false
     | Wire.Bad { msg = _; reply } ->
         t.st.bad_requests <- t.st.bad_requests + 1;
-        Wire.encode_response sc.out reply;
+        Wire.encode_response p.out reply;
         incr served
     | Wire.Item req when overloaded ->
         t.st.shed <- t.st.shed + 1;
@@ -177,19 +207,19 @@ let service t p sc =
           | Wire.Set { noreply; _ } | Wire.Delete { noreply; _ } -> noreply
           | Wire.Get _ -> false
         in
-        if not noreply then Wire.encode_response sc.out (Wire.Server_error "busy");
+        if not noreply then Wire.encode_response p.out (Wire.Server_error "busy");
         incr served
     | Wire.Item req ->
-        obs_span "srv.serve" (fun () -> handle t sc req);
+        obs_span "srv.serve" (fun () -> handle t p req);
         incr served
   done;
-  if Buffer.length sc.out > 0 then begin
+  if Buffer.length p.out > 0 then begin
     t.st.batches <- t.st.batches + 1;
     obs_span
-      ~args:[ ("bytes", Obs.A_int (Buffer.length sc.out)) ]
+      ~args:[ ("bytes", Obs.A_int (Buffer.length p.out)) ]
       "srv.tx"
-      (fun () -> Net.reply t.net sc.c (Buffer.contents sc.out));
-    Buffer.clear sc.out
+      (fun () -> Net.reply t.net sc.c (Buffer.contents p.out));
+    Buffer.clear p.out
   end;
   (* More buffered bytes, or a full batch with frames still in the decoder:
      take another round (after peers get their turn). A partial frame alone
@@ -265,9 +295,7 @@ let acceptor_body t () =
           let n = List.length candidates in
           let p = List.nth candidates (t.rr.(socket) mod n) in
           t.rr.(socket) <- t.rr.(socket) + 1;
-          let sc =
-            { c; dec = Wire.decoder (); out = Buffer.create 256; queued = false; dead = false }
-          in
+          let sc = { c; dec = Wire.decoder (); queued = false; dead = false } in
           Net.set_on_readable c (fun () -> enqueue t p sc);
           if Net.recv_ready c > 0 then enqueue t p sc
         end
@@ -279,13 +307,20 @@ let start sched net ~backend cfg =
   let pollers =
     Array.init cfg.npollers (fun i ->
         let hw = backend.Variants.client_hw i in
-        {
-          idx = i;
-          hw;
-          socket = Topology.socket_of_thread topo hw;
-          tid = -1;
-          ready = Queue.create ();
-        })
+        let socket = Topology.socket_of_thread topo hw in
+        (* the front cache needs a versioned backend to validate against;
+           without one (or with front_cache = 0) the fast path stays off
+           and the charge stream is untouched — the allocate-last rule *)
+        let fc =
+          match (cfg.front_cache > 0, backend.Variants.version_of) with
+          | true, Some version_of ->
+              Some
+                (Frontcache.create ~entries:cfg.front_cache
+                   ~alloc:(fun ~lines -> Machine.alloc m (Machine.On_node socket) ~lines)
+                   ~version_of ())
+          | _ -> None
+        in
+        { idx = i; hw; socket; tid = -1; ready = Queue.create (); out = Buffer.create 256; fc })
   in
   let by_socket = Array.make topo.Topology.sockets [] in
   Array.iter (fun p -> by_socket.(p.socket) <- by_socket.(p.socket) @ [ p ]) pollers;
@@ -358,4 +393,14 @@ let register_obs ?(labels = []) t reg =
   g "srv.batches" (fun s -> s.batches);
   g "srv.parks" (fun s -> s.parks);
   g "srv.shed" (fun s -> s.shed);
-  g "srv.closed" (fun s -> s.closed)
+  g "srv.closed" (fun s -> s.closed);
+  if front_cache_on t then begin
+    let fg name help f =
+      R.gauge_fn reg name ~labels ~help (fun () -> float_of_int (f (fc_stats t)))
+    in
+    fg "srv.fc_hits" "front-cache hits" (fun s -> s.Frontcache.hits);
+    fg "srv.fc_misses" "front-cache misses" (fun s -> s.Frontcache.misses);
+    fg "srv.fc_stale" "version-mismatch refetches" (fun s -> s.Frontcache.stale);
+    fg "srv.fc_admits" "front-cache installs" (fun s -> s.Frontcache.admits);
+    fg "srv.fc_invals" "poller self-invalidations" (fun s -> s.Frontcache.invals)
+  end

@@ -53,6 +53,14 @@ type config = {
           overloaded shard degrades into fast rejections (which routed
           clients retry after backoff) instead of unbounded queueing delay.
           [0] (the default) disables shedding. *)
+  front_cache : int;
+      (** per-poller front-cache entries ({!Frontcache}, DESIGN.md §10):
+          each poller screens its GET path through a tiny version-validated
+          presence cache, turning hot-key reads into a local probe instead
+          of a delegation round-trip into the owning partition. Requires a
+          backend built with [~versions] > 0 (otherwise silently off). [0]
+          (the default) disables the cache entirely — the charge stream is
+          bit-identical to a build without the feature. *)
 }
 
 val default_config : config
@@ -92,6 +100,14 @@ val stop : t -> unit
     this drains in-flight delegations), and exit. *)
 
 val stats : t -> stats
+
+val fc_stats : t -> Frontcache.stats
+(** Front-cache counters summed across this server's pollers; all zero
+    when the cache is off. *)
+
+val front_cache_on : t -> bool
+(** Whether any poller actually runs a front cache (config asked for one
+    {e and} the backend publishes per-key versions). *)
 
 val poller_tids : t -> int list
 (** Simulated thread ids of the pollers that have started running — the

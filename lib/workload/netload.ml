@@ -181,6 +181,7 @@ type routed_result = {
   dropped : int;
   abandoned : int;
   churned : int;
+  conns_opened : int;
   per_node_completed : int array;
   per_node_p99 : int array;
   goodput_timeline : int array;
@@ -197,17 +198,37 @@ type rop = {
   mutable resolved : bool;
   mutable timed_out : bool;
   mutable last_node : int;
-  mutable on_conn : rconn option;  (** the connection currently carrying it *)
+  mutable on_cid : int;  (** connection-table index currently carrying it; -1 = none *)
 }
 
-and rconn = {
-  rnode : int;
-  mutable rc : Net.conn option;
-  mutable rdec : Wire.decoder;
-  renc : Buffer.t;
-  rinflight : rop Queue.t;
-  mutable rdead : bool;
+(* Connection table in structure-of-arrays form: slot [s] of node [n] is
+   row [cid = n * nconns + s]. Per-connection closures and buffers are
+   what bound fleet size — a million-row table is a handful of flat
+   arrays, and the per-row heap objects (decoder, inflight FIFO) are
+   materialized only when a row actually dials, so slots that never carry
+   traffic cost three words each. *)
+type ctable = {
+  cnconns : int;  (** rows per node *)
+  cconn : Net.conn option array;
+  cdec : Wire.decoder option array;  (** lazy; fresh on every (re)open *)
+  cinflight : rop Queue.t option array;  (** lazy; survives reopens *)
+  cdead : Bytes.t;  (** '\001' = unusable, reconnect before use *)
+  mutable copened : int;  (** [Net.connect] calls: first opens + reopens *)
 }
+
+let ct_make ~nnodes ~nconns =
+  let n = nnodes * nconns in
+  {
+    cnconns = nconns;
+    cconn = Array.make n None;
+    cdec = Array.make n None;
+    cinflight = Array.make n None;
+    cdead = Bytes.make n '\001';
+    copened = 0;
+  }
+
+let ct_dead ct cid = Bytes.get ct.cdead cid = '\001'
+let ct_node ct cid = cid / ct.cnconns
 
 type rfleet = {
   rsched : Sthread.t;
@@ -220,7 +241,8 @@ type rfleet = {
   rdeadline : int;  (** past this, nothing re-arms or retries *)
   rhist : Histogram.t;
   node_hist : Histogram.t array;
-  pools : rconn array array;
+  table : ctable;
+  renc : Buffer.t;  (** encode scratch, shared by every send *)
   key_prng : Prng.t;
   jitter_prng : Prng.t;
   timeline : int array;
@@ -240,6 +262,14 @@ type rfleet = {
   mutable rchurned : int;
   node_completed : int array;
 }
+
+let ct_inflight f cid =
+  match f.table.cinflight.(cid) with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      f.table.cinflight.(cid) <- Some q;
+      q
 
 let sample_key f =
   match f.rs.key_pool with
@@ -265,38 +295,46 @@ let record_completion f node latency =
   if w >= 0 && w < Array.length f.timeline then
     f.timeline.(w) <- f.timeline.(w) + 1
 
-let rec ensure_conn f rc =
-  if rc.rdead || rc.rc = None then begin
-    rc.rdead <- false;
-    rc.rdec <- Wire.decoder ();
+let rec ensure_conn f cid =
+  let ct = f.table in
+  if ct_dead ct cid || ct.cconn.(cid) = None then begin
+    Bytes.set ct.cdead cid '\000';
+    ct.cdec.(cid) <- Some (Wire.decoder ());
+    ignore (ct_inflight f cid);
+    let node = ct_node ct cid in
     let conn =
-      Net.connect (f.router.net_of rc.rnode) ~nic:(f.router.nic_of rc.rnode)
-        ~rx:(fun data -> on_rx_routed f rc data)
+      Net.connect (f.router.net_of node) ~nic:(f.router.nic_of node)
+        ~rx:(fun data -> on_rx_routed f cid data)
         ~on_refused:(fun () ->
           f.rrefused <- f.rrefused + 1;
-          fail_conn f rc ~close:false)
+          fail_conn f cid ~close:false)
         ()
     in
-    rc.rc <- Some conn
+    ct.copened <- ct.copened + 1;
+    ct.cconn.(cid) <- Some conn
   end
 
 (* The connection is unusable (refused, or its node was declared dead):
    close it so late responses cannot double-complete, and push every
    inflight operation onto the retry path. *)
-and fail_conn f rc ~close =
-  if not rc.rdead then begin
-    rc.rdead <- true;
-    (match rc.rc with
-    | Some c when close -> Net.close (f.router.net_of rc.rnode) c
+and fail_conn f cid ~close =
+  let ct = f.table in
+  if not (ct_dead ct cid) then begin
+    Bytes.set ct.cdead cid '\001';
+    (match ct.cconn.(cid) with
+    | Some c when close -> Net.close (f.router.net_of (ct_node ct cid)) c
     | _ -> ());
-    rc.rc <- None;
-    let orphans = Queue.fold (fun acc op -> op :: acc) [] rc.rinflight in
-    Queue.clear rc.rinflight;
-    List.iter
-      (fun op ->
-        op.on_conn <- None;
-        retry_op f op)
-      (List.rev orphans)
+    ct.cconn.(cid) <- None;
+    match ct.cinflight.(cid) with
+    | None -> ()
+    | Some q ->
+        let orphans = Queue.fold (fun acc op -> op :: acc) [] q in
+        Queue.clear q;
+        List.iter
+          (fun op ->
+            op.on_cid <- -1;
+            retry_op f op)
+          (List.rev orphans)
   end
 
 (* Capped exponential backoff with jitter: delay in [b/2, b) where
@@ -332,20 +370,19 @@ and retry_op f op =
 
 and send_op f op =
   let node = target_node f op.key in
-  let pool = f.pools.(node) in
-  let rc = pool.(op.user mod Array.length pool) in
-  ensure_conn f rc;
-  match rc.rc with
+  let cid = (node * f.table.cnconns) + (op.user mod f.table.cnconns) in
+  ensure_conn f cid;
+  match f.table.cconn.(cid) with
   | None -> retry_op f op
   | Some conn ->
       if op.attempts > 0 && node <> op.last_node then f.rrerouted <- f.rrerouted + 1;
       op.last_node <- node;
       op.attempts <- op.attempts + 1;
-      op.on_conn <- Some rc;
-      Buffer.clear rc.renc;
+      op.on_cid <- cid;
+      Buffer.clear f.renc;
       (match op.rkind with
       | `Set ->
-          Wire.encode_request rc.renc
+          Wire.encode_request f.renc
             (Wire.Set
                {
                  key = string_of_int op.key;
@@ -354,9 +391,9 @@ and send_op f op =
                  data = f.rset_data;
                  noreply = false;
                })
-      | `Get -> Wire.encode_request rc.renc (Wire.Get [ string_of_int op.key ]));
-      Queue.push op rc.rinflight;
-      Net.send (f.router.net_of node) conn (Buffer.contents rc.renc);
+      | `Get -> Wire.encode_request f.renc (Wire.Get [ string_of_int op.key ]));
+      Queue.push op (ct_inflight f cid);
+      Net.send (f.router.net_of node) conn (Buffer.contents f.renc);
       arm_timeout f op ~gen:op.attempts
 
 and arm_timeout f op ~gen =
@@ -364,38 +401,45 @@ and arm_timeout f op ~gen =
       on_timeout f op ~gen)
 
 and on_timeout f op ~gen =
-  if (not op.resolved) && op.attempts = gen then
-    match op.on_conn with
-    | None -> ()  (* already on the backoff path *)
-    | Some rc ->
-        if rc.rdead then ()
-        else if not (f.router.node_up rc.rnode) then
-          (* target declared dead: the connection is orphaned — drain it,
-             which reroutes every inflight op including this one *)
-          fail_conn f rc ~close:true
-        else begin
-          (* live node, slow reply: never retransmit on a live FIFO
-             connection (the response will still arrive and a blind
-             retransmit would double-apply); just keep watching *)
-          if not op.timed_out then begin
-            op.timed_out <- true;
-            f.rtimeouts <- f.rtimeouts + 1
-          end;
-          if Sthread.now f.rsched < f.rdeadline then arm_timeout f op ~gen
-        end
+  if (not op.resolved) && op.attempts = gen then begin
+    let cid = op.on_cid in
+    if cid < 0 then ()  (* already on the backoff path *)
+    else if ct_dead f.table cid then ()
+    else if not (f.router.node_up (ct_node f.table cid)) then
+      (* target declared dead: the connection is orphaned — drain it,
+         which reroutes every inflight op including this one *)
+      fail_conn f cid ~close:true
+    else begin
+      (* live node, slow reply: never retransmit on a live FIFO
+         connection (the response will still arrive and a blind
+         retransmit would double-apply); just keep watching *)
+      if not op.timed_out then begin
+        op.timed_out <- true;
+        f.rtimeouts <- f.rtimeouts + 1
+      end;
+      if Sthread.now f.rsched < f.rdeadline then arm_timeout f op ~gen
+    end
+  end
 
-and on_rx_routed f rc data =
-  Wire.feed rc.rdec data;
+and on_rx_routed f cid data =
+  let dec =
+    match f.table.cdec.(cid) with
+    | Some d -> d
+    | None -> assert false  (* installed at connect, before rx can fire *)
+  in
+  let node = ct_node f.table cid in
+  let inflight = ct_inflight f cid in
+  Wire.feed dec data;
   let parsing = ref true in
   while !parsing do
-    match Wire.next_response rc.rdec with
+    match Wire.next_response dec with
     | Wire.Need_more -> parsing := false
     | Wire.Bad _ -> f.rerrors <- f.rerrors + 1
     | Wire.Item resp -> (
-        match Queue.take_opt rc.rinflight with
+        match Queue.take_opt inflight with
         | None -> f.rerrors <- f.rerrors + 1
         | Some op -> (
-            op.on_conn <- None;
+            op.on_cid <- -1;
             if not op.resolved then
               match resp with
               | Wire.Server_error m
@@ -406,12 +450,12 @@ and on_rx_routed f rc data =
                   retry_op f op
               | _ ->
                   op.resolved <- true;
-                  record_completion f rc.rnode (Sthread.now f.rsched - op.t0);
+                  record_completion f node (Sthread.now f.rsched - op.t0);
                   (match resp with
                   | Wire.Values vs -> f.rhits <- f.rhits + List.length vs
                   | Wire.Stored -> (
                       match (f.rs.on_acked, op.rkind) with
-                      | Some cb, `Set -> cb ~opid:op.opid ~node:rc.rnode
+                      | Some cb, `Set -> cb ~opid:op.opid ~node
                       | _ -> ())
                   | Wire.Error | Wire.Client_error _ | Wire.Server_error _ ->
                       f.rerrors <- f.rerrors + 1
@@ -441,7 +485,7 @@ and new_op f user =
         resolved = false;
         timed_out = false;
         last_node = -1;
-        on_conn = None;
+        on_cid = -1;
       }
     in
     f.next_opid <- f.next_opid + 1;
@@ -454,33 +498,27 @@ and new_op f user =
    whole cluster — connection setup/teardown keeps running under load. *)
 let rec churn_tick f ~cursor =
   if Sthread.now f.rsched < f.rhorizon then begin
-    let total = Array.fold_left (fun acc p -> acc + Array.length p) 0 f.pools in
-    let nth i =
-      let i = i mod total in
-      let rec pick node i =
-        if i < Array.length f.pools.(node) then f.pools.(node).(i)
-        else pick (node + 1) (i - Array.length f.pools.(node))
-      in
-      pick 0 i
+    let ct = f.table in
+    let total = f.router.nnodes * ct.cnconns in
+    let usable cid =
+      (not (ct_dead ct cid))
+      && ct.cconn.(cid) <> None
+      && (match ct.cinflight.(cid) with None -> true | Some q -> Queue.is_empty q)
+      && f.router.node_up (ct_node ct cid)
     in
     let rec find i left =
       if left = 0 then None
       else
-        let rc = nth i in
-        if
-          (not rc.rdead) && rc.rc <> None
-          && Queue.is_empty rc.rinflight
-          && f.router.node_up rc.rnode
-        then Some rc
-        else find (i + 1) (left - 1)
+        let cid = i mod total in
+        if usable cid then Some cid else find (i + 1) (left - 1)
     in
     (match find cursor total with
-    | Some rc ->
-        (match rc.rc with
-        | Some c -> Net.close (f.router.net_of rc.rnode) c
+    | Some cid ->
+        (match ct.cconn.(cid) with
+        | Some c -> Net.close (f.router.net_of (ct_node ct cid)) c
         | None -> ());
-        rc.rc <- None;
-        rc.rdead <- true;
+        ct.cconn.(cid) <- None;
+        Bytes.set ct.cdead cid '\001';
         f.rchurned <- f.rchurned + 1
     | None -> ());
     Sthread.at f.rsched
@@ -513,17 +551,8 @@ let run_routed sched router rs ~duration ?(stop = fun () -> ()) () =
       rdeadline = horizon + grace;
       rhist = Histogram.create ();
       node_hist = Array.init router.nnodes (fun _ -> Histogram.create ());
-      pools =
-        Array.init router.nnodes (fun node ->
-            Array.init sp.nconns (fun _ ->
-                {
-                  rnode = node;
-                  rc = None;
-                  rdec = Wire.decoder ();
-                  renc = Buffer.create 256;
-                  rinflight = Queue.create ();
-                  rdead = true;
-                }));
+      table = ct_make ~nnodes:router.nnodes ~nconns:sp.nconns;
+      renc = Buffer.create 256;
       key_prng = Prng.split master;
       jitter_prng = Prng.split master;
       timeline = Array.make ((duration / twindow) + 1) 0;
@@ -545,7 +574,9 @@ let run_routed sched router rs ~duration ?(stop = fun () -> ()) () =
     }
   in
   router.subscribe_down (fun node ->
-      Array.iter (fun rc -> fail_conn f rc ~close:true) f.pools.(node));
+      for s = 0 to f.table.cnconns - 1 do
+        fail_conn f ((node * f.table.cnconns) + s) ~close:true
+      done);
   (match sp.mode with
   | Closed { think } ->
       for u = 0 to sp.nclients - 1 do
@@ -583,6 +614,7 @@ let run_routed sched router rs ~duration ?(stop = fun () -> ()) () =
     dropped = f.rdropped;
     abandoned = f.rissued - f.rresolved;
     churned = f.rchurned;
+    conns_opened = f.table.copened;
     per_node_completed = Array.copy f.node_completed;
     per_node_p99 = Array.map (fun h -> Histogram.percentile h 0.99) f.node_hist;
     goodput_timeline = f.timeline;

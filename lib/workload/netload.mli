@@ -149,6 +149,10 @@ type routed_result = {
   dropped : int;  (** ops given up after [max_retries] or at the deadline *)
   abandoned : int;  (** ops never resolved when the run ended *)
   churned : int;  (** connections recycled by the churn process *)
+  conns_opened : int;
+      (** [Net.connect] calls across the run (first opens plus reopens
+          after churn/failover) — the fleet-scale gate's witness that a
+          ≥250k-connection stage really dialed that many connections *)
   per_node_completed : int array;
   per_node_p99 : int array;
   goodput_timeline : int array;  (** completions per [window_cycles] bucket *)

@@ -18,6 +18,7 @@ let () =
       ("net", Test_net.suite);
       ("check", Test_check.suite);
       ("cluster", Test_cluster.suite);
+      ("frontcache", Test_frontcache.suite);
       ("batch", Test_batch.suite);
       ("obs", Test_obs.suite);
       ("adapt", Test_adapt.suite);
