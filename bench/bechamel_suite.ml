@@ -72,7 +72,10 @@ let machine_kernel () =
 let mc_kernel () =
   let m = Machine.create (Machine.config_scaled ()) in
   let alloc = Alloc.create m ~cold:Alloc.Spread in
-  let c = Dps_memcached.Mc_core.create alloc ~buckets:1024 ~capacity:4096 ~recency:Dps_memcached.Mc_core.Lru_list in
+  let c =
+    Dps_memcached.Mc_core.create alloc ~buckets:1024 ~capacity:4096
+      ~recency:Dps_memcached.Mc_core.Lru_list
+  in
   for k = 0 to 2047 do
     Dps_memcached.Mc_core.set c ~key:k ~val_lines:2
   done;

@@ -154,7 +154,9 @@ let run_shared (module S : SET) ~config (w : workload) =
   let sched = Sthread.create m in
   let alloc = Alloc.create m ~cold:Alloc.Spread in
   let set = S.create alloc in
-  populate (module S) set ~keys:(population_keys ~size:w.size ~seed:11L) ~order:(order_for_name S.name);
+  populate (module S) set
+    ~keys:(population_keys ~size:w.size ~seed:11L)
+    ~order:(order_for_name S.name);
   S.maintenance set;
   Driver.measure ~sched ~threads:w.threads ~duration:w.duration ?min_ops:w.min_ops
     ~op:
@@ -203,7 +205,8 @@ let run_dps (module S : SET) ~config ?(locality_size = 10) (w : workload) =
            ignore (Dps.call dps ~key (fun s -> if S.insert s ~key ~value:key then 1 else 0)))
          ~remove:(fun key -> ignore (Dps.call dps ~key (fun s -> if S.remove s key then 1 else 0)))
          ~lookup:(fun key ->
-           ignore (Dps.call dps ~key (fun s -> match S.lookup s key with Some v -> v | None -> -1))))
+           ignore
+             (Dps.call dps ~key (fun s -> match S.lookup s key with Some v -> v | None -> -1))))
     ()
 
 (* --- ffwd harness: data sharded across 1 or 4 dedicated servers --- *)
@@ -214,7 +217,8 @@ let run_ffwd (module S : SET) ~config ~servers (w : workload) =
   let sched = Sthread.create m in
   (* servers take the first hardware thread of each socket *)
   let server_hw =
-    Array.init servers (fun i -> i * topo.Topology.cores_per_socket * topo.Topology.threads_per_core)
+    Array.init servers (fun i ->
+        i * topo.Topology.cores_per_socket * topo.Topology.threads_per_core)
   in
   let shards =
     Array.map
@@ -228,21 +232,29 @@ let run_ffwd (module S : SET) ~config ~servers (w : workload) =
   let per_shard = Array.make servers [] in
   Array.iter (fun k -> per_shard.(k mod servers) <- k :: per_shard.(k mod servers)) keys;
   for s = 0 to servers - 1 do
-    populate (module S) shards.(s) ~keys:(Array.of_list per_shard.(s)) ~order:(order_for_name S.name);
+    populate (module S)
+      shards.(s)
+      ~keys:(Array.of_list per_shard.(s))
+      ~order:(order_for_name S.name);
     S.maintenance shards.(s)
   done;
   (* clients avoid the server threads *)
   let all = Topology.placement topo ~n:(min (Topology.nthreads topo) (w.threads + servers)) in
   let server_set = Array.to_list server_hw in
-  let client_hws = Array.of_list (List.filter (fun hw -> not (List.mem hw server_set)) (Array.to_list all)) in
+  let client_hws =
+    Array.of_list (List.filter (fun hw -> not (List.mem hw server_set)) (Array.to_list all))
+  in
   let placement = Array.init w.threads (fun i -> client_hws.(i mod Array.length client_hws)) in
-  let shard_call key op = Dps_ffwd.Ffwd.call f ~server:(key mod servers) (fun () -> op shards.(key mod servers)) in
+  let shard_call key op =
+    Dps_ffwd.Ffwd.call f ~server:(key mod servers) (fun () -> op shards.(key mod servers))
+  in
   Driver.measure ~sched ~threads:w.threads ~placement ~duration:w.duration ?min_ops:w.min_ops
     ~prologue:(fun ~tid -> Dps_ffwd.Ffwd.attach f ~client:tid)
     ~epilogue:(fun ~tid:_ -> Dps_ffwd.Ffwd.client_done f)
     ~op:
       (mk_op_mix w
-         ~insert:(fun key -> ignore (shard_call key (fun s -> if S.insert s ~key ~value:key then 1 else 0)))
+         ~insert:(fun key ->
+           ignore (shard_call key (fun s -> if S.insert s ~key ~value:key then 1 else 0)))
          ~remove:(fun key -> ignore (shard_call key (fun s -> if S.remove s key then 1 else 0)))
          ~lookup:(fun key ->
            ignore (shard_call key (fun s -> match S.lookup s key with Some v -> v | None -> -1))))

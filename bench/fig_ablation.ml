@@ -56,7 +56,8 @@ let run_deleg ?(ring_slots = 16) ?(check_budget = 4) ?(async = false) ?(delay = 
     ()
 
 let check_budget () =
-  print_header "Ablation: check budget (serves per own-completion check; 500-cycle ops, 80 threads)";
+  print_header
+    "Ablation: check budget (serves per own-completion check; 500-cycle ops, 80 threads)";
   Printf.printf "%-8s %12s %10s %10s\n" "budget" "Mops/s" "p50" "p99";
   List.iter
     (fun (b, r) ->

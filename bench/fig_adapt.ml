@@ -266,7 +266,9 @@ let fig_drift () =
   Printf.printf "%-12s %s %10s\n" "phase"
     (String.concat "  "
        (List.init nphases (fun ph ->
-            Printf.sprintf "%9s" (if ph land 1 = 0 then Printf.sprintf "hot[p%d]" (hot_pid ~nparts:8 ph) else "cool"))))
+            Printf.sprintf "%9s"
+              (if ph land 1 = 0 then Printf.sprintf "hot[p%d]" (hot_pid ~nparts:8 ph)
+               else "cool"))))
     "overall";
   List.iter
     (fun r ->

@@ -15,64 +15,72 @@ module Ffwd = Dps_ffwd.Ffwd
 type mode = Dps_sync | Dps_async | Ffwd_servers of int
 
 (* One run: [threads] clients issue spin-operations of [op_len] cycles on
-   uniformly random keys, pausing [delay] cycles between operations. *)
-let run ~mode ~threads ~op_len ~delay ~duration =
-  let m = Dps_machine.Machine.create full_config in
+   uniformly random keys, pausing [delay] cycles between operations.
+   [config] overrides the machine (the bandwidth A/B runs with token
+   buckets on); [on_machine] observes the machine after the measurement
+   (e.g. to read bandwidth byte counters). *)
+let run ?(config = full_config) ?(on_machine = fun (_ : Dps_machine.Machine.t) -> ()) ~mode
+    ~threads ~op_len ~delay ~duration () =
+  let m = Dps_machine.Machine.create config in
   let sched = Sthread.create m in
-  match mode with
-  | Dps_sync | Dps_async ->
-      let dps =
-        Dps.create sched ~nclients:threads ~locality_size:10
-          ~hash:(fun k -> k)
-          ~mk_data:(fun _ -> ())
-          ()
-      in
-      let nparts = Dps.npartitions dps in
-      let op ~tid:_ ~step:_ =
-        let p = Sthread.self_prng () in
-        let key = Prng.int p (64 * nparts) in
-        let spin () =
-          if op_len > 0 then Simops.work op_len;
-          0
+  let result =
+    match mode with
+    | Dps_sync | Dps_async ->
+        let dps =
+          Dps.create sched ~nclients:threads ~locality_size:10
+            ~hash:(fun k -> k)
+            ~mk_data:(fun _ -> ())
+            ()
         in
-        (match mode with
-        | Dps_sync -> ignore (Dps.call dps ~key (fun () -> spin ()))
-        | Dps_async | Ffwd_servers _ -> Dps.execute_async dps ~key (fun () -> spin ()));
-        if delay > 0 then Simops.work delay
-      in
-      let placement = Array.init threads (Dps.client_hw dps) in
-      Driver.measure ~sched ~threads ~placement ~duration
-        ~prologue:(fun ~tid -> Dps.attach dps ~client:tid)
-        ~epilogue:(fun ~tid:_ ->
-          Dps.client_done dps;
-          Dps.drain dps)
-        ~op ()
-  | Ffwd_servers servers ->
-      let topo = Dps_machine.Machine.topology m in
-      let server_hw =
-        Array.init servers (fun i ->
-            i * topo.Topology.cores_per_socket * topo.Topology.threads_per_core)
-      in
-      let f = Ffwd.create sched ~server_hw ~clients:threads in
-      let all = Topology.placement topo ~n:(min (Topology.nthreads topo) (threads + servers)) in
-      let server_set = Array.to_list server_hw in
-      let client_hws =
-        Array.of_list (List.filter (fun hw -> not (List.mem hw server_set)) (Array.to_list all))
-      in
-      let placement = Array.init threads (fun i -> client_hws.(i mod Array.length client_hws)) in
-      let op ~tid:_ ~step:_ =
-        let p = Sthread.self_prng () in
-        let server = Prng.int p servers in
-        ignore
-          (Ffwd.call f ~server (fun () ->
-               if op_len > 0 then Simops.work op_len;
-               0));
-        if delay > 0 then Simops.work delay
-      in
-      Driver.measure ~sched ~threads ~placement ~duration
-        ~prologue:(fun ~tid -> Ffwd.attach f ~client:tid)
-        ~epilogue:(fun ~tid:_ -> Ffwd.client_done f)
-        ~op ()
+        let nparts = Dps.npartitions dps in
+        let op ~tid:_ ~step:_ =
+          let p = Sthread.self_prng () in
+          let key = Prng.int p (64 * nparts) in
+          let spin () =
+            if op_len > 0 then Simops.work op_len;
+            0
+          in
+          (match mode with
+          | Dps_sync -> ignore (Dps.call dps ~key (fun () -> spin ()))
+          | Dps_async | Ffwd_servers _ -> Dps.execute_async dps ~key (fun () -> spin ()));
+          if delay > 0 then Simops.work delay
+        in
+        let placement = Array.init threads (Dps.client_hw dps) in
+        Driver.measure ~sched ~threads ~placement ~duration
+          ~prologue:(fun ~tid -> Dps.attach dps ~client:tid)
+          ~epilogue:(fun ~tid:_ ->
+            Dps.client_done dps;
+            Dps.drain dps)
+          ~op ()
+    | Ffwd_servers servers ->
+        let topo = Dps_machine.Machine.topology m in
+        let server_hw =
+          Array.init servers (fun i ->
+              i * topo.Topology.cores_per_socket * topo.Topology.threads_per_core)
+        in
+        let f = Ffwd.create sched ~server_hw ~clients:threads in
+        let all = Topology.placement topo ~n:(min (Topology.nthreads topo) (threads + servers)) in
+        let server_set = Array.to_list server_hw in
+        let client_hws =
+          Array.of_list (List.filter (fun hw -> not (List.mem hw server_set)) (Array.to_list all))
+        in
+        let placement = Array.init threads (fun i -> client_hws.(i mod Array.length client_hws)) in
+        let op ~tid:_ ~step:_ =
+          let p = Sthread.self_prng () in
+          let server = Prng.int p servers in
+          ignore
+            (Ffwd.call f ~server (fun () ->
+                 if op_len > 0 then Simops.work op_len;
+                 0));
+          if delay > 0 then Simops.work delay
+        in
+        Driver.measure ~sched ~threads ~placement ~duration
+          ~prologue:(fun ~tid -> Ffwd.attach f ~client:tid)
+          ~epilogue:(fun ~tid:_ -> Ffwd.client_done f)
+          ~op ()
+  in
+  on_machine m;
+  result
 
 let fig3 () =
   print_header "Figure 3: throughput vs data-structure operation length (80 threads)";
@@ -82,14 +90,18 @@ let fig3 () =
       List.map
         (fun len ->
           ( string_of_int len,
-            fun () -> run ~mode ~threads:80 ~op_len:len ~delay:0 ~duration:default_duration ))
+            fun () -> run ~mode ~threads:80 ~op_len:len ~delay:0 ~duration:default_duration () ))
         lengths )
   in
   Printf.printf "x = operation length (cycles)\n";
   List.iter
     (fun (label, pts) -> print_series ~label pts)
     (run_series
-       [ series "DPS" Dps_sync; series "ffwd-s1" (Ffwd_servers 1); series "ffwd-s4" (Ffwd_servers 4) ])
+       [
+         series "DPS" Dps_sync;
+         series "ffwd-s1" (Ffwd_servers 1);
+         series "ffwd-s4" (Ffwd_servers 4);
+       ])
 
 let fig6a () =
   print_header "Figure 6(a): delegation throughput vs cores (empty / 500-cycle ops)";
@@ -97,7 +109,8 @@ let fig6a () =
     ( name,
       List.map
         (fun n ->
-          (string_of_int n, fun () -> run ~mode ~threads:n ~op_len ~delay:0 ~duration:default_duration))
+          ( string_of_int n,
+            fun () -> run ~mode ~threads:n ~op_len ~delay:0 ~duration:default_duration () ))
         core_counts )
   in
   Printf.printf "x = cores\n";
@@ -121,7 +134,7 @@ let fig6b () =
       List.map
         (fun d ->
           ( string_of_int d,
-            fun () -> run ~mode ~threads:80 ~op_len:0 ~delay:d ~duration:default_duration ))
+            fun () -> run ~mode ~threads:80 ~op_len:0 ~delay:d ~duration:default_duration () ))
         delays )
   in
   Printf.printf "x = delay between operations (cycles)\n";

@@ -80,7 +80,8 @@ let print_health ~label (h : Dps.health) =
     h.Dps.lock_breaks
 
 let fig_crashes () =
-  print_header "Fault figure (a): throughput vs clients crashed mid-run (40 threads, 200-cycle ops)";
+  print_header
+    "Fault figure (a): throughput vs clients crashed mid-run (40 threads, 200-cycle ops)";
   let counts = if quick then [ 0; 8 ] else [ 0; 2; 4; 8; 12 ] in
   Printf.printf "x = crashed clients (spread across localities)\n";
   let pts =

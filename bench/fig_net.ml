@@ -41,7 +41,9 @@ let run which ~nclients ~set_pct ~mode () =
   let srv = Server.start sched net ~backend { Server.default_config with npollers } in
   let nconns = max 32 (min 256 (nclients / 16)) in
   let sp = Netload.spec ~nclients ~nconns ~set_pct ~mget:1 ~key_range:items ?mode () in
-  let r = Netload.run sched net sp ~duration:default_duration ~stop:(fun () -> Server.stop srv) () in
+  let r =
+    Netload.run sched net sp ~duration:default_duration ~stop:(fun () -> Server.stop srv) ()
+  in
   {
     r;
     local_pct = Net.local_fraction net *. 100.0;

@@ -50,7 +50,9 @@ let run ~config ~technique ~threads ~objects ~lines ~write_lines ?window
             i * topo.Topology.cores_per_socket * topo.Topology.threads_per_core)
       in
       (* shard i belongs to server (i mod 4); memory homed on that socket *)
-      let o = Rw.create_partitioned m ~node_of:(fun i -> i mod servers) ~objects ~lines ~write_lines in
+      let o =
+        Rw.create_partitioned m ~node_of:(fun i -> i mod servers) ~objects ~lines ~write_lines
+      in
       let f = Ffwd.create sched ~server_hw ~clients:threads in
       let all = Topology.placement topo ~n:(min (Topology.nthreads topo) (threads + servers)) in
       let server_set = Array.to_list server_hw in

@@ -31,7 +31,12 @@ let fig2 () =
   print_header "Figure 2 (left): shared bst & skiplist vs update ratio (4K nodes, skewed, 80c)";
   let ratios = if quick then [ 0; 50; 100 ] else [ 0; 20; 40; 60; 80; 100 ] in
   let impls : (module SET) list =
-    [ (module Dps_ds.Bst_tk); (module Dps_ds.Bst_ellen); (module Dps_ds.Sl_herlihy); (module Dps_ds.Sl_fraser) ]
+    [
+      (module Dps_ds.Bst_tk);
+      (module Dps_ds.Bst_ellen);
+      (module Dps_ds.Sl_herlihy);
+      (module Dps_ds.Sl_fraser);
+    ]
   in
   Printf.printf "x = update ratio (%%)\n";
   List.iter

@@ -39,6 +39,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("batch", "request batching and adaptive polling on the DPS hot path", Fig_batch.all);
     ("adapt", "adaptive delegation: drifting-skew phases + mode-flip exactly-once", Fig_adapt.all);
     ("cluster", "sharded multi-node serving with failover (stress matrix)", Fig_cluster.all);
+    ("stream", "STREAM bandwidth calibration + delegation bytes A/B", Fig_stream.all);
     ("profile", "cycle attribution and observability zero-perturbation", Fig_profile.all);
     ("bechamel", "Bechamel kernels (one per figure)", Bechamel_suite.run);
   ]

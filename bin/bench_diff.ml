@@ -20,7 +20,9 @@ let () =
   let report_path = ref "" in
   let specs =
     [
-      ("--baseline-dir", Arg.Set_string baseline_dir, "DIR committed baselines (default bench/baselines)");
+      ( "--baseline-dir",
+        Arg.Set_string baseline_dir,
+        "DIR committed baselines (default bench/baselines)" );
       ("--fresh-dir", Arg.Set_string fresh_dir, "DIR freshly generated BENCH_*.json (default .)");
       ( "--names",
         Arg.String (fun s -> names := String.split_on_char ',' s),

@@ -61,7 +61,10 @@ let run_point structure (module S : SET) harness threads size update skewed dura
      balanced median-first order *)
   let order_keys =
     let sorted = Array.copy population in
-    if String.length structure >= 2 && (structure.[0] = 'l' && structure.[1] = 'f' || structure.[0] = 'b' || structure = "lb-b") then begin
+    if
+      String.length structure >= 2
+      && (structure.[0] = 'l' && structure.[1] = 'f' || structure.[0] = 'b' || structure = "lb-b")
+    then begin
       Array.sort compare sorted;
       let out = Array.make (Array.length sorted) 0 in
       let idx = ref 0 in
@@ -128,9 +131,11 @@ let run_point structure (module S : SET) harness threads size update skewed dura
             Dps.drain dps)
           ~op:
             (mk_op
-               (fun key -> ignore (Dps.call dps ~key (fun s -> if S.insert s ~key ~value:key then 1 else 0)))
+               (fun key ->
+                 ignore (Dps.call dps ~key (fun s -> if S.insert s ~key ~value:key then 1 else 0)))
                (fun key -> ignore (Dps.call dps ~key (fun s -> if S.remove s key then 1 else 0)))
-               (fun key -> ignore (Dps.call dps ~key (fun s -> if S.lookup s key = None then 0 else 1))))
+               (fun key ->
+                 ignore (Dps.call dps ~key (fun s -> if S.lookup s key = None then 0 else 1))))
           ()
     | Ffwd_h ->
         let topo = Machine.topology m in
@@ -141,13 +146,17 @@ let run_point structure (module S : SET) harness threads size update skewed dura
         let shards =
           Array.map
             (fun hw ->
-              let set = S.create (Alloc.create m ~cold:(Alloc.Node (Topology.socket_of_thread topo hw))) in
+              let set =
+                S.create (Alloc.create m ~cold:(Alloc.Node (Topology.socket_of_thread topo hw)))
+              in
               set)
             server_hw
         in
         Array.iteri
           (fun s shard ->
-            let keys = Array.of_seq (Seq.filter (fun k -> k mod servers = s) (Array.to_seq sorted_desc)) in
+            let keys =
+              Array.of_seq (Seq.filter (fun k -> k mod servers = s) (Array.to_seq sorted_desc))
+            in
             populate shard keys)
           shards;
         let f = Dps_ffwd.Ffwd.create sched ~server_hw ~clients:threads in
@@ -202,7 +211,9 @@ let run_bench structure harness threads size update skewed duration servers scal
 (* --- command line --- *)
 
 let structure =
-  let doc = "Structure: gl-m, lb-l, lf-m, optik, rlu, bst-tk, lf-n, lf-h, lb-b, lb-h, lf-f, hash, blink." in
+  let doc =
+    "Structure: gl-m, lb-l, lf-m, optik, rlu, bst-tk, lf-n, lf-h, lb-b, lb-h, lf-f, hash, blink."
+  in
   Arg.(value & opt string "lf-f" & info [ "structure"; "s" ] ~doc)
 
 let harness =

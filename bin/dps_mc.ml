@@ -77,9 +77,18 @@ let run_mc variant ycsb threads items value_bytes set_pct duration scaled seed =
 
 let variant =
   let alts =
-    [ ("stock", Stock); ("parsec", Parsec); ("ffwd", Ffwd); ("dps", Dps_v); ("dps-parsec", Dps_parsec) ]
+    [
+      ("stock", Stock);
+      ("parsec", Parsec);
+      ("ffwd", Ffwd);
+      ("dps", Dps_v);
+      ("dps-parsec", Dps_parsec);
+    ]
   in
-  Arg.(value & opt (enum alts) Dps_v & info [ "variant"; "v" ] ~doc:"Variant: stock, parsec, ffwd, dps, dps-parsec.")
+  Arg.(
+    value
+    & opt (enum alts) Dps_v
+    & info [ "variant"; "v" ] ~doc:"Variant: stock, parsec, ffwd, dps, dps-parsec.")
 
 let ycsb =
   let parse s =
@@ -91,7 +100,10 @@ let ycsb =
     | Some w -> Format.pp_print_string ppf (Ycsb.to_string w)
     | None -> Format.pp_print_string ppf "none"
   in
-  Arg.(value & opt (conv (parse, print)) None & info [ "ycsb" ] ~doc:"YCSB preset (a/b/c/d/f); overrides --set.")
+  Arg.(
+    value
+    & opt (conv (parse, print)) None
+    & info [ "ycsb" ] ~doc:"YCSB preset (a/b/c/d/f); overrides --set.")
 
 let threads = Arg.(value & opt int 80 & info [ "threads"; "t" ] ~doc:"Simulated client threads.")
 let items = Arg.(value & opt int 65536 & info [ "items"; "n" ] ~doc:"Pre-populated items.")
@@ -99,7 +111,9 @@ let value_bytes = Arg.(value & opt int 128 & info [ "value-bytes" ] ~doc:"Value 
 let set_pct = Arg.(value & opt int 1 & info [ "set" ] ~doc:"Set percentage (ignored with --ycsb).")
 let duration = Arg.(value & opt int 300_000 & info [ "duration" ] ~doc:"Simulated cycles.")
 let scaled =
-  Arg.(value & opt bool true & info [ "scaled" ] ~doc:"Use the /16-scaled cache hierarchy (default true).")
+  Arg.(
+    value & opt bool true
+    & info [ "scaled" ] ~doc:"Use the /16-scaled cache hierarchy (default true).")
 let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"Simulation seed.")
 
 let cmd =

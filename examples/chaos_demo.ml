@@ -67,8 +67,8 @@ let () =
   Printf.printf "clients crashed mid-run: %s\n"
     (String.concat ", " (List.map string_of_int (Faults.crashed plan)));
   Printf.printf "stalls injected: %d\n" (Faults.stalls_injected plan);
-  Printf.printf "ops acknowledged: %d, ops applied: %d (crashed clients may each leave\n" acked_total
-    applied;
+  Printf.printf "ops acknowledged: %d, ops applied: %d (crashed clients may each leave\n"
+    acked_total applied;
   Printf.printf "  one unacknowledged op in flight — applied-acked here: %d)\n"
     (applied - acked_total);
   Printf.printf "healing: takeovers=%d adoptions=%d retries=%d lock_breaks=%d crashes=%d\n"

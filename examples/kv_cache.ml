@@ -44,7 +44,8 @@ let () =
   print_endline "key/value cache, zipfian workload, 40 threads, 1% sets:";
   let results =
     [
-      run_variant (fun sched -> Variants.stock sched ~nclients:threads ~buckets:items ~capacity:(2 * items));
+      run_variant (fun sched ->
+          Variants.stock sched ~nclients:threads ~buckets:items ~capacity:(2 * items));
       run_variant (fun sched ->
           Variants.dps_mc sched ~nclients:threads ~locality_size:10 ~buckets:items
             ~capacity:(2 * items) ());
@@ -53,7 +54,8 @@ let () =
             ~capacity:(2 * items) ());
     ]
   in
-  Printf.printf "%-12s %12s %10s %10s %14s\n" "variant" "Mops/s" "p50 (cyc)" "p99 (cyc)" "LLC miss/op";
+  Printf.printf "%-12s %12s %10s %10s %14s\n" "variant" "Mops/s" "p50 (cyc)" "p99 (cyc)"
+    "LLC miss/op";
   List.iter
     (fun (name, r) ->
       Printf.printf "%-12s %12.3f %10d %10d %14.2f\n" name r.Driver.throughput_mops r.Driver.p50

@@ -45,7 +45,8 @@ let raw_connection () =
                   Printf.printf "  server: %d value(s) [%s]\n" (List.length vs)
                     (String.concat "; "
                        (List.map
-                          (fun v -> Printf.sprintf "%s=%dB" v.Wire.vkey (String.length v.Wire.vdata))
+                          (fun v ->
+                            Printf.sprintf "%s=%dB" v.Wire.vkey (String.length v.Wire.vdata))
                           vs))
               | Wire.Stored -> print_endline "  server: STORED"
               | Wire.Deleted -> print_endline "  server: DELETED"

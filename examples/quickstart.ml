@@ -37,7 +37,9 @@ let () =
         for i = 0 to 9 do
           let key = (client * 10) + i in
           (* execute/await are the paper's two-phase API; [call] wraps them *)
-          ignore (Dps.call dps ~key (fun ht -> if Hashtable.insert ht ~key ~value:(7 * key) then 1 else 0))
+          ignore
+            (Dps.call dps ~key (fun ht ->
+                 if Hashtable.insert ht ~key ~value:(7 * key) then 1 else 0))
         done;
         for i = 0 to 9 do
           let key = (client * 10) + i in

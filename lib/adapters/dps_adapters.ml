@@ -14,7 +14,9 @@ module Stack = struct
       let nparts = Dps.npartitions d in
       let winner = ref None in
       for pid = 0 to nparts - 1 do
-        let stamp = Dps.call_on d ~pid (fun s -> match S.peek_stamp s with Some x -> x | None -> -1) in
+        let stamp =
+          Dps.call_on d ~pid (fun s -> match S.peek_stamp s with Some x -> x | None -> -1)
+        in
         match !winner with
         | Some (best_stamp, _) when stamp <= best_stamp -> ()
         | _ -> if stamp >= 0 then winner := Some (stamp, pid)
@@ -95,7 +97,8 @@ module Pq = struct
     if best = max_int then None
     else
       (* the key determines its partition, so fetch the value there *)
-      Some (best, Dps.call d ~key:best (fun pq -> match P.lookup pq best with Some v -> v | None -> 0))
+      Some
+        (best, Dps.call d ~key:best (fun pq -> match P.lookup pq best with Some v -> v | None -> 0))
 
   let rec remove_min_attempts d attempts =
     if attempts = 0 then None
@@ -174,7 +177,8 @@ module Pvar = struct
   let create_on (type a) machine (dps : a Dps.t) ~node_of ~init : 'b t =
     Array.init (Dps.npartitions dps) (fun pid ->
         {
-          addr = Dps_machine.Machine.alloc machine (Dps_machine.Machine.On_node (node_of pid)) ~lines:1;
+          addr =
+            Dps_machine.Machine.alloc machine (Dps_machine.Machine.On_node (node_of pid)) ~lines:1;
           value = init pid;
         })
 

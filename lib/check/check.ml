@@ -178,7 +178,9 @@ let explore ~name ?(budget = 50) ?(seed = 0x5eedL) ?(strategies = default_strate
               if lo >= budget then finish None
               else begin
                 let hi = min budget (lo + window) in
-                let results = Par.map ~jobs (Array.init (hi - lo) (fun k () -> run_index (lo + k))) in
+                let results =
+                  Par.map ~jobs (Array.init (hi - lo) (fun k () -> run_index (lo + k)))
+                in
                 let first = ref None in
                 Array.iteri
                   (fun k r ->

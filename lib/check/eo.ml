@@ -26,7 +26,8 @@ type t = {
   mutable n_applies : int;
 }
 
-let create () = { acks = Hashtbl.create 1024; applies = Hashtbl.create 1024; n_acks = 0; n_applies = 0 }
+let create () =
+  { acks = Hashtbl.create 1024; applies = Hashtbl.create 1024; n_acks = 0; n_applies = 0 }
 
 let ack t ~opid ~node =
   t.n_acks <- t.n_acks + 1;

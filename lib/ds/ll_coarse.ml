@@ -13,7 +13,11 @@ type t = { alloc : Alloc.t; lock : Mcs.t; head : node }
 let name = "gl-m"
 
 let create alloc =
-  { alloc; lock = Mcs.create alloc; head = { key = min_int; value = 0; addr = Alloc.line alloc; next = None } }
+  {
+    alloc;
+    lock = Mcs.create alloc;
+    head = { key = min_int; value = 0; addr = Alloc.line alloc; next = None };
+  }
 
 (* Walk to the first node with key >= [key]; charges one read per hop. *)
 let search t key =

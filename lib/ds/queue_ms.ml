@@ -21,7 +21,13 @@ let now_stamp () = if Dps_sthread.Sthread.in_sim () then Dps_sthread.Sthread.tim
 
 let create alloc =
   let sentinel = { value = 0; stamp = 0; addr = Alloc.line alloc; next = None } in
-  { alloc; head_addr = Alloc.line alloc; tail_addr = Alloc.line alloc; head = sentinel; tail = sentinel }
+  {
+    alloc;
+    head_addr = Alloc.line alloc;
+    tail_addr = Alloc.line alloc;
+    head = sentinel;
+    tail = sentinel;
+  }
 
 let rec enqueue t value =
   let n = { value; stamp = now_stamp (); addr = Alloc.line t.alloc; next = None } in

@@ -85,7 +85,8 @@ let decide_raw t ~tid ~now ~tag ~cycles:_ =
   | None ->
       let s = t.spec in
       if now < s.after || not (s.eligible tid) then None
-      else if s.crash_prob > 0.0 && t.n_prob_crashes < s.max_crashes && Prng.below t.prng s.crash_prob
+      else if
+        s.crash_prob > 0.0 && t.n_prob_crashes < s.max_crashes && Prng.below t.prng s.crash_prob
       then begin
         t.n_prob_crashes <- t.n_prob_crashes + 1;
         record_crash t tid;
@@ -125,7 +126,8 @@ let install sched ~seed spec =
       crashed_rev = [];
     }
   in
-  Sthread.set_fault_hook sched (Some (fun ~tid ~now ~tag ~cycles -> decide t ~tid ~now ~tag ~cycles));
+  Sthread.set_fault_hook sched
+    (Some (fun ~tid ~now ~tag ~cycles -> decide t ~tid ~now ~tag ~cycles));
   t
 
 let uninstall t = Sthread.set_fault_hook t.sched None

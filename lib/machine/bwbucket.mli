@@ -1,0 +1,41 @@
+(** Deterministic token bucket for bandwidth ceilings, in simulated cycles.
+
+    One bucket stands for one finite-bandwidth resource — a socket's
+    memory controller or one direction of an interconnect link. Tokens are
+    bytes; they refill lazily at [rate] bytes per simulated cycle (capped
+    at [burst]) and every line transfer {!charge}s its bytes. A charge
+    that overdraws the bucket is admitted but reports the queueing delay
+    until the refill stream pays the debt back, so concurrent transfers
+    through a saturated resource see monotonically growing delays — the
+    saturation knee of the STREAM calibration figure ([bench/fig_stream]).
+
+    Purely arithmetic and allocation-free after {!create}; determinism
+    follows from the simulated clock being the only time source. *)
+
+type t
+
+val create : rate:int -> burst:int -> t
+(** [create ~rate ~burst] starts full. Both must be positive; a zero rate
+    means "bandwidth modeling off" and is represented by the {e absence}
+    of buckets (see [Costs.bw_off]), never by a bucket. *)
+
+val charge : t -> now:int -> bytes:int -> int
+(** [charge t ~now ~bytes] consumes [bytes] tokens at simulated time
+    [now] (monotone across calls) and returns the queueing delay in
+    cycles: 0 while tokens last, otherwise the time until the bucket
+    refills back to zero debt. *)
+
+val rate : t -> int
+val burst : t -> int
+
+val tokens : t -> int
+(** Current token balance; negative while in debt. *)
+
+val bytes : t -> int
+(** Cumulative bytes charged. *)
+
+val queue_cycles : t -> int
+(** Cumulative queueing delay handed out. *)
+
+val queue_events : t -> int
+(** Number of charges that found the bucket empty. *)

@@ -19,7 +19,13 @@ type t = {
 let create ~capacity prng =
   assert (capacity > 0);
   let initial = min capacity 256 in
-  { slots = Array.make initial (-1); index = Itbl.create ~capacity:(2 * initial) (); capacity; size = 0; prng }
+  {
+    slots = Array.make initial (-1);
+    index = Itbl.create ~capacity:(2 * initial) ();
+    capacity;
+    size = 0;
+    prng;
+  }
 
 let capacity t = t.capacity
 let size t = t.size

@@ -1,3 +1,10 @@
+type bw = {
+  mc_bytes_per_cycle : int;
+  link_bytes_per_cycle : int;
+  mc_burst : int;
+  link_burst : int;
+}
+
 type t = {
   priv_hit : int;
   llc_hit : int;
@@ -9,7 +16,37 @@ type t = {
   rmw_extra : int;
   walk_local : int;
   walk_remote : int;
+  bw : bw;
 }
+
+(* Bandwidth modeling disabled: the machine charges per-access latency
+   only, exactly as before the bandwidth model existed ([bw:0]). *)
+let bw_off = { mc_bytes_per_cycle = 0; link_bytes_per_cycle = 0; mc_burst = 0; link_burst = 0 }
+
+(* Calibrated by the STREAM figure (bench/fig_stream.ml): at 2 GHz,
+   28 B/cycle per socket is 56 GB/s of memory-controller bandwidth and
+   6 B/cycle per link direction is 12 GB/s of interconnect. With the
+   figure's factor-16 streaming kernels a single local core demands about
+   a third of its memory controller while a remote core demands half its
+   inbound link, so the remote sweep knees a core earlier and plateaus at
+   roughly a third of the local ceiling — the classic STREAM/NUMA shape.
+   Bursts of a few KB let short transfer trains through un-queued. *)
+let bw_default =
+  { mc_bytes_per_cycle = 28; link_bytes_per_cycle = 6; mc_burst = 8192; link_burst = 4096 }
+
+(* Effectively infinite bandwidth: every transfer is admitted with zero
+   queueing delay while the byte counters still run — the configuration
+   of the bytes-per-op A/B in bench/fig_stream. Not charge-identical to
+   [bw_off]: enabling buckets replaces the DRAM service-queue seam, so
+   an access that would have queued behind a busy controller no longer
+   does. *)
+let bw_unlimited =
+  {
+    mc_bytes_per_cycle = 1 lsl 40;
+    link_bytes_per_cycle = 1 lsl 40;
+    mc_burst = 1 lsl 50;
+    link_burst = 1 lsl 50;
+  }
 
 let default =
   {
@@ -23,4 +60,5 @@ let default =
     rmw_extra = 18;
     walk_local = 90;
     walk_remote = 200;
+    bw = bw_off;
   }

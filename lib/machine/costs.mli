@@ -6,6 +6,17 @@
     (priv < llc < dram_local < llc_remote ~ dram_remote) is what produces
     the paper's scalability shapes. *)
 
+type bw = {
+  mc_bytes_per_cycle : int;  (** per-socket memory-controller rate *)
+  link_bytes_per_cycle : int;  (** per interconnect link direction *)
+  mc_burst : int;  (** memory-controller token capacity, bytes *)
+  link_burst : int;  (** link token capacity, bytes *)
+}
+(** Token-bucket bandwidth ceilings (see [Bwbucket]). A zero
+    [mc_bytes_per_cycle] disables bandwidth modeling entirely: no buckets
+    are created and every charge is exactly what it was before the model
+    existed. *)
+
 type t = {
   priv_hit : int;  (** L1/L2 blend *)
   llc_hit : int;  (** local-socket LLC hit *)
@@ -17,6 +28,24 @@ type t = {
   rmw_extra : int;  (** added by atomic read-modify-writes *)
   walk_local : int;  (** TLB-miss page walk, page homed locally *)
   walk_remote : int;  (** page walk against a remote node's page tables *)
+  bw : bw;  (** bandwidth ceilings; [bw_off] in {!default} *)
 }
 
 val default : t
+(** Latency costs of the paper's machine, bandwidth modeling off. *)
+
+val bw_off : bw
+(** Bandwidth modeling disabled ([bw:0]) — the default; charge-for-charge
+    identical to the pre-bandwidth-model machine. *)
+
+val bw_default : bw
+(** Ceilings calibrated by [bench/fig_stream]: 28 B/cycle per socket
+    memory controller (56 GB/s at 2 GHz), 6 B/cycle per interconnect link
+    direction (12 GB/s), bursts of a few KB. *)
+
+val bw_unlimited : bw
+(** Buckets so large every charge sees zero queueing delay while the byte
+    counters still run (the bytes-per-op A/B's configuration). Unlike
+    {!bw_off} this still replaces the DRAM service-queue seam with the
+    buckets, so charges are close to — not bit-identical to — the
+    bandwidth-off machine. *)

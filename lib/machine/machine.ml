@@ -35,13 +35,30 @@ let config_scaled ?(factor = 16) () =
    a single hot line is a global serialization point, which is precisely
    the contention collapse of §2 — while reads of a shared line replicate
    and serve in parallel. *)
-type line = { home : int; mutable owner : int; sharers : Bitset.t; mutable wbusy : int }
+type line = {
+  home : int;
+  mutable owner : int;
+  sharers : Bitset.t;
+  mutable wbusy : int;
+  mutable dirty : bool;  (* modified relative to DRAM: an eviction writes back *)
+}
 
 type region = { base : int; nlines : int; pol : policy }
 
 (* Placeholder for never-touched entries of the dense directory; compared
    physically, never read. *)
-let no_line = { home = -1; owner = -1; sharers = Bitset.create 0; wbusy = 0 }
+let no_line = { home = -1; owner = -1; sharers = Bitset.create 0; wbusy = 0; dirty = false }
+
+(* Bandwidth state, present only when [costs.bw] enables modeling: one
+   token bucket per socket memory controller and one per interconnect
+   link direction. [last_delay] records the bucket component of the most
+   recent access so [access_mlp] can exempt it from pipelining — latency
+   hides behind memory-level parallelism, bandwidth does not. *)
+type bwstate = {
+  mc : Bwbucket.t array;  (* per socket *)
+  link : Bwbucket.t array;  (* per ordered socket pair, Topology.link_index *)
+  mutable last_delay : int;
+}
 
 type t = {
   cfg : config;
@@ -55,6 +72,7 @@ type t = {
        [Hashtbl] hashed and chased buckets on every access. Entries
        materialize lazily on first touch, exactly as the hash table did. *)
   dram_busy : int array;  (* per NUMA node: memory-controller occupancy *)
+  bw : bwstate option;  (* bandwidth buckets; None = modeling off (bw:0) *)
   mutable regions : region array;
   mutable nregions : int;
   mutable next_addr : int;
@@ -67,11 +85,31 @@ let create ?(seed = 42L) cfg =
   let topo = cfg.topo in
   {
     cfg;
-    priv = Array.init (Topology.ncores topo) (fun _ -> Cachebox.create ~capacity:cfg.priv_lines (Prng.split root));
-    tlb = Array.init (Topology.ncores topo) (fun _ -> Cachebox.create ~capacity:cfg.tlb_entries (Prng.split root));
-    llc = Array.init topo.Topology.sockets (fun _ -> Cachebox.create ~capacity:cfg.llc_lines (Prng.split root));
+    priv =
+      Array.init (Topology.ncores topo) (fun _ ->
+          Cachebox.create ~capacity:cfg.priv_lines (Prng.split root));
+    tlb =
+      Array.init (Topology.ncores topo) (fun _ ->
+          Cachebox.create ~capacity:cfg.tlb_entries (Prng.split root));
+    llc =
+      Array.init topo.Topology.sockets (fun _ ->
+          Cachebox.create ~capacity:cfg.llc_lines (Prng.split root));
     lines = Array.make 65536 no_line;
     dram_busy = Array.make topo.Topology.sockets 0;
+    bw =
+      (let b = cfg.costs.Costs.bw in
+       if b.Costs.mc_bytes_per_cycle <= 0 then None
+       else
+         Some
+           {
+             mc =
+               Array.init topo.Topology.sockets (fun _ ->
+                   Bwbucket.create ~rate:b.Costs.mc_bytes_per_cycle ~burst:b.Costs.mc_burst);
+             link =
+               Array.init (Topology.nlinks topo) (fun _ ->
+                   Bwbucket.create ~rate:b.Costs.link_bytes_per_cycle ~burst:b.Costs.link_burst);
+             last_delay = 0;
+           });
     regions = Array.make 16 { base = 0; nlines = 0; pol = Interleave };
     nregions = 0;
     next_addr = 0;
@@ -140,6 +178,7 @@ let line_of t addr =
         owner = -1;
         sharers = Bitset.create (Topology.ncores t.cfg.topo);
         wbusy = 0;
+        dirty = false;
       }
     in
     t.lines.(addr) <- l;
@@ -160,35 +199,100 @@ let priv_insert t core addr =
         if l.owner = core then l.owner <- -1
       end
 
-let llc_insert t sock addr = ignore (Cachebox.add t.llc.(sock) addr)
+let line_bytes = 64
 
-let llc_present_elsewhere t sock addr =
-  let found = ref false in
+(* An LLC eviction of a modified line streams it back to the DRAM of its
+   home node — memory-controller bytes, plus interconnect bytes when the
+   evicting socket is not the home. Write-backs are posted (they do not
+   delay the access that caused the eviction) but they drain the same
+   token buckets, so later fills queue behind them. Only exists when
+   bandwidth modeling is on: with [bw:0] the eviction is free, as it
+   always was. *)
+let llc_insert t ~now sock addr =
+  match Cachebox.add t.llc.(sock) addr with
+  | None -> ()
+  | Some victim -> (
+      match t.bw with
+      | None -> ()
+      | Some st ->
+          let l = t.lines.(victim) in
+          if l != no_line && l.dirty then begin
+            l.dirty <- false;
+            Stats.incr t.stats "bw_writebacks";
+            ignore (Bwbucket.charge st.mc.(l.home) ~now ~bytes:line_bytes);
+            if l.home <> sock then
+              ignore
+                (Bwbucket.charge
+                   st.link.(Topology.link_index t.cfg.topo ~src:sock ~dst:l.home)
+                   ~now ~bytes:line_bytes)
+          end)
+
+(* First other socket whose LLC holds the line, or -1: the transfer
+   source for a cross-socket LLC hit. *)
+let llc_socket_elsewhere t sock addr =
+  let found = ref (-1) in
   for s = 0 to Array.length t.llc - 1 do
-    if s <> sock && (not !found) && Cachebox.mem t.llc.(s) addr then found := true
+    if s <> sock && !found < 0 && Cachebox.mem t.llc.(s) addr then found := s
   done;
   !found
 
 let fetch_cost t line ~core ~sock ~addr =
   let c = t.cfg.costs in
   let topo = t.cfg.topo in
-  if line.owner >= 0 && line.owner <> core then
-    if Topology.socket_of_core topo line.owner = sock then (c.Costs.llc_hit, `Local_transfer)
-    else (c.Costs.llc_remote, `Remote)
+  if line.owner >= 0 && line.owner <> core then begin
+    let owner_sock = Topology.socket_of_core topo line.owner in
+    if owner_sock = sock then (c.Costs.llc_hit, `Local_transfer)
+    else (c.Costs.llc_remote, `Remote owner_sock)
+  end
   else if Cachebox.mem t.llc.(sock) addr then (c.Costs.llc_hit, `Llc)
-  else if llc_present_elsewhere t sock addr then (c.Costs.llc_remote, `Remote)
-  else if line.home = sock then (c.Costs.dram_local, `Dram)
-  else (c.Costs.dram_remote, `Remote_dram)
+  else begin
+    let src = llc_socket_elsewhere t sock addr in
+    if src >= 0 then (c.Costs.llc_remote, `Remote src)
+    else if line.home = sock then (c.Costs.dram_local, `Dram)
+    else (c.Costs.dram_remote, `Remote_dram)
+  end
 
 let count_fetch t = function
   | `Local_transfer | `Llc -> Stats.incr t.stats "llc_hits"
-  | `Remote ->
+  | `Remote _ ->
       Stats.incr t.stats "llc_misses";
       Stats.incr t.stats "remote_misses"
   | `Dram -> Stats.incr t.stats "llc_misses"
   | `Remote_dram ->
       Stats.incr t.stats "llc_misses";
       Stats.incr t.stats "remote_misses"
+
+(* Charge the bytes a fetch moves against the buckets they traverse:
+   DRAM fills hit the home node's memory controller, cross-socket
+   transfers hit the link from the source socket, remote DRAM fills hit
+   both (overlapped, so the delay is the max). Returns the queueing delay
+   and accumulates it in [last_delay] for {!access_mlp}. *)
+let bw_fill t ~now ~sock line src =
+  match t.bw with
+  | None -> 0
+  | Some st ->
+      let topo = t.cfg.topo in
+      let charge_mc node =
+        let d = Bwbucket.charge st.mc.(node) ~now ~bytes:line_bytes in
+        if d > 0 then Stats.incr t.stats "bw_mc_queueing";
+        d
+      in
+      let charge_link ~src ~dst =
+        let d =
+          Bwbucket.charge st.link.(Topology.link_index topo ~src ~dst) ~now ~bytes:line_bytes
+        in
+        if d > 0 then Stats.incr t.stats "bw_link_queueing";
+        d
+      in
+      let d =
+        match src with
+        | `Dram -> charge_mc line.home
+        | `Remote_dram -> max (charge_mc line.home) (charge_link ~src:line.home ~dst:sock)
+        | `Remote src_sock -> charge_link ~src:src_sock ~dst:sock
+        | `Local_transfer | `Llc | `Upgrade -> 0
+      in
+      st.last_delay <- st.last_delay + d;
+      d
 
 let invalidation_cost t line ~core ~sock =
   let c = t.cfg.costs in
@@ -209,7 +313,8 @@ let do_invalidate t line ~core ~sock ~addr =
   done;
   Bitset.clear line.sharers;
   Bitset.add line.sharers core;
-  line.owner <- core
+  line.owner <- core;
+  line.dirty <- true
 
 (* A node's memory controller streams one line every few cycles; fetches
    that reach DRAM queue behind it. A working set homed on one node (the
@@ -252,7 +357,12 @@ let access_slow t ~now ~core ~addr ~kind =
       else begin
         let cost, src = fetch_cost t line ~core ~sock ~addr in
         count_fetch t src;
-        let bw = match src with `Dram | `Remote_dram -> dram_queue t ~now line.home | _ -> 0 in
+        let bw =
+          match t.bw with
+          | None -> (
+              match src with `Dram | `Remote_dram -> dram_queue t ~now line.home | _ -> 0)
+          | Some _ -> bw_fill t ~now ~sock line src
+        in
         if line.owner >= 0 && line.owner <> core then begin
           (* Dirty remote copy becomes shared. *)
           Bitset.add line.sharers line.owner;
@@ -260,8 +370,12 @@ let access_slow t ~now ~core ~addr ~kind =
         end;
         Bitset.add line.sharers core;
         priv_insert t core addr;
-        llc_insert t sock addr;
-        if bw > 0 && Dps_obs.Obs.profiling_on () then Dps_obs.Obs.note_stall bw;
+        llc_insert t ~now sock addr;
+        if bw > 0 && Dps_obs.Obs.profiling_on () then begin
+          match t.bw with
+          | None -> Dps_obs.Obs.note_stall bw
+          | Some _ -> Dps_obs.Obs.note_bw_stall bw
+        end;
         translation + bw + cost
       end
   | Write | Rmw ->
@@ -277,21 +391,31 @@ let access_slow t ~now ~core ~addr ~kind =
         in
         (match src with
         | `Upgrade -> Stats.incr t.stats "priv_hits"
-        | (`Local_transfer | `Llc | `Remote | `Dram | `Remote_dram) as s -> count_fetch t s);
-        let bw = match src with `Dram | `Remote_dram -> dram_queue t ~now line.home | _ -> 0 in
+        | (`Local_transfer | `Llc | `Remote _ | `Dram | `Remote_dram) as s -> count_fetch t s);
+        let bw =
+          match t.bw with
+          | None -> (
+              match src with `Dram | `Remote_dram -> dram_queue t ~now line.home | _ -> 0)
+          | Some _ -> bw_fill t ~now ~sock line src
+        in
         let inval = invalidation_cost t line ~core ~sock in
         if inval > 0 then Stats.incr t.stats "invalidations";
         do_invalidate t line ~core ~sock ~addr;
         priv_insert t core addr;
-        llc_insert t sock addr;
+        llc_insert t ~now sock addr;
         (* Ownership transfers of one line serialize: queue behind any
            transfer still in flight. *)
         let transfer = fetch + inval + extra in
         let queue = max 0 (line.wbusy - now) in
         if queue > 0 then Stats.incr t.stats "write_queueing";
         line.wbusy <- max now line.wbusy + transfer;
-        if bw + queue > 0 && Dps_obs.Obs.profiling_on () then
-          Dps_obs.Obs.note_stall (bw + queue);
+        if Dps_obs.Obs.profiling_on () then begin
+          match t.bw with
+          | None -> if bw + queue > 0 then Dps_obs.Obs.note_stall (bw + queue)
+          | Some _ ->
+              if queue > 0 then Dps_obs.Obs.note_stall queue;
+              if bw > 0 then Dps_obs.Obs.note_bw_stall bw
+        end;
         translation + bw + queue + transfer
       end
 
@@ -313,6 +437,71 @@ let access t ~now ~thread ~addr ~kind =
     t.cfg.costs.Costs.priv_hit
   end
   else access_slow t ~now ~core ~addr ~kind
+
+(* Pipelined access for streaming code (memory-level parallelism): the
+   latency portion divides by [factor], but the bandwidth-bucket portion
+   does not — overlapping requests hides latency, it cannot create
+   bytes-per-cycle. With bandwidth off this is exactly the historical
+   [max 1 (cost / factor)]. *)
+let access_mlp t ~now ~thread ~addr ~kind ~factor =
+  match t.bw with
+  | None -> max 1 (access t ~now ~thread ~addr ~kind / factor)
+  | Some st ->
+      st.last_delay <- 0;
+      let cost = access t ~now ~thread ~addr ~kind in
+      let bwd = min st.last_delay cost in
+      max 1 ((cost - bwd) / factor) + bwd
+
+(* NIC DDIO traffic: packet payload streamed by a DMA engine drains the
+   socket's memory-controller bucket like any other memory traffic, so
+   network and application bandwidth honestly contend. Returns the
+   queueing delay; 0 (and no accounting) when bandwidth modeling is off. *)
+let bw_charge_dma t ~now ~socket ~bytes =
+  match t.bw with
+  | None -> 0
+  | Some st ->
+      let d = Bwbucket.charge st.mc.(socket) ~now ~bytes in
+      Stats.add t.stats "bw_dma_bytes" bytes;
+      if d > 0 then Stats.incr t.stats "bw_mc_queueing";
+      d
+
+let bw_enabled t = t.bw <> None
+
+type bw_snapshot = {
+  mc_bytes : int array;  (* per socket *)
+  mc_queue_cycles : int array;
+  link_bytes : int array array;  (* [src].(dst); diagonal 0 *)
+  link_queue_cycles : int array array;
+  writebacks : int;
+}
+
+let bw_snapshot t =
+  match t.bw with
+  | None -> None
+  | Some st ->
+      let topo = t.cfg.topo in
+      let n = topo.Topology.sockets in
+      let link_bytes = Array.make_matrix n n 0 in
+      let link_queue_cycles = Array.make_matrix n n 0 in
+      Array.iteri
+        (fun i b ->
+          let src, dst = Topology.link_ends topo i in
+          link_bytes.(src).(dst) <- Bwbucket.bytes b;
+          link_queue_cycles.(src).(dst) <- Bwbucket.queue_cycles b)
+        st.link;
+      Some
+        {
+          mc_bytes = Array.map Bwbucket.bytes st.mc;
+          mc_queue_cycles = Array.map Bwbucket.queue_cycles st.mc;
+          link_bytes;
+          link_queue_cycles;
+          writebacks = Stats.get t.stats "bw_writebacks";
+        }
+
+let interconnect_bytes t =
+  match t.bw with
+  | None -> 0
+  | Some st -> Array.fold_left (fun acc b -> acc + Bwbucket.bytes b) 0 st.link
 
 let set_active t ~thread v = t.active.(thread) <- v
 
@@ -342,4 +531,41 @@ let register_obs t reg =
       Dps_obs.Registry.gauge_fn reg ~help:("machine model counter " ^ name)
         ("machine." ^ name)
         (fun () -> float_of_int (Stats.get t.stats name)))
-    counters
+    counters;
+  match t.bw with
+  | None -> ()
+  | Some st ->
+      List.iter
+        (fun name ->
+          Dps_obs.Registry.gauge_fn reg ~help:("machine model counter " ^ name)
+            ("machine." ^ name)
+            (fun () -> float_of_int (Stats.get t.stats name)))
+        [ "bw_mc_queueing"; "bw_link_queueing"; "bw_writebacks"; "bw_dma_bytes" ];
+      Array.iteri
+        (fun s b ->
+          let labels = [ ("socket", string_of_int s) ] in
+          Dps_obs.Registry.gauge_fn reg ~labels ~help:"memory-controller bytes charged"
+            "machine.bw_mc_bytes"
+            (fun () -> float_of_int (Bwbucket.bytes b));
+          Dps_obs.Registry.gauge_fn reg ~labels ~help:"cycles spent queued on the memory controller"
+            "machine.bw_mc_queue_cycles"
+            (fun () -> float_of_int (Bwbucket.queue_cycles b));
+          Dps_obs.Registry.gauge_fn reg ~labels
+            ~help:"memory-controller occupancy, 0 (idle) to 1 (token debt)"
+            "machine.bw_mc_occupancy"
+            (fun () ->
+              let tokens = float_of_int (Bwbucket.tokens b) in
+              let burst = float_of_int (Bwbucket.burst b) in
+              Float.max 0. (Float.min 1. (1. -. (tokens /. burst)))))
+        st.mc;
+      Array.iteri
+        (fun i b ->
+          let src, dst = Topology.link_ends t.cfg.topo i in
+          let labels = [ ("src", string_of_int src); ("dst", string_of_int dst) ] in
+          Dps_obs.Registry.gauge_fn reg ~labels ~help:"interconnect-link bytes charged"
+            "machine.bw_link_bytes"
+            (fun () -> float_of_int (Bwbucket.bytes b));
+          Dps_obs.Registry.gauge_fn reg ~labels ~help:"cycles spent queued on the link"
+            "machine.bw_link_queue_cycles"
+            (fun () -> float_of_int (Bwbucket.queue_cycles b)))
+        st.link

@@ -48,6 +48,37 @@ val access : t -> now:int -> thread:int -> addr:int -> kind:kind -> int
     transfer is in flight additionally pays the queueing delay — the hot
     cache-line collapse of §2. Reads of a shared line serve in parallel. *)
 
+val access_mlp : t -> now:int -> thread:int -> addr:int -> kind:kind -> factor:int -> int
+(** Pipelined access for streaming code: like {!access} but the latency
+    portion of the cost divides by [factor] (memory-level parallelism
+    hides latency behind outstanding requests) while any bandwidth
+    queueing delay does not — overlap cannot create bytes-per-cycle.
+    With bandwidth modeling off this is exactly
+    [max 1 (access ... / factor)]. *)
+
+val bw_charge_dma : t -> now:int -> socket:int -> bytes:int -> int
+(** Charge NIC DDIO DMA traffic against [socket]'s memory-controller
+    bucket; returns the queueing delay in cycles. 0, with no accounting,
+    when bandwidth modeling is off. *)
+
+val bw_enabled : t -> bool
+(** Whether the config's {!Costs.bw} enabled the token buckets. *)
+
+type bw_snapshot = {
+  mc_bytes : int array;  (** bytes charged per socket memory controller *)
+  mc_queue_cycles : int array;  (** queueing delay accumulated per socket *)
+  link_bytes : int array array;  (** [link_bytes.(src).(dst)]; diagonal 0 *)
+  link_queue_cycles : int array array;
+  writebacks : int;  (** dirty LLC evictions streamed back to DRAM *)
+}
+
+val bw_snapshot : t -> bw_snapshot option
+(** Point-in-time bandwidth accounting; [None] when modeling is off. *)
+
+val interconnect_bytes : t -> int
+(** Total bytes charged across every interconnect link direction — the
+    delegation-vs-ffwd A/B's bytes/op numerator. 0 when modeling is off. *)
+
 val work_cost : t -> thread:int -> int -> int
 (** Compute-cycle cost adjusted for hyperthread sharing: if the sibling
     hardware thread is active the pipeline is shared and the cost dilates. *)
@@ -59,10 +90,17 @@ val home_of : t -> int -> int
 val stats : t -> Dps_simcore.Stats.t
 (** Counters: ["accesses"], ["priv_hits"], ["llc_hits"], ["llc_misses"]
     (served by DRAM or another socket), ["remote_misses"] (cross-socket
-    only), ["invalidations"]. *)
+    only), ["invalidations"]; with bandwidth modeling on, also
+    ["bw_mc_queueing"], ["bw_link_queueing"], ["bw_writebacks"] and
+    ["bw_dma_bytes"]. *)
 
 val cycles_to_seconds : t -> int -> float
 
 val register_obs : t -> Dps_obs.Registry.t -> unit
 (** Publish the {!stats} counters as sampled gauges named
-    [machine.<counter>] in an observability registry. *)
+    [machine.<counter>] in an observability registry. With bandwidth
+    modeling on, also publishes per-socket memory-controller gauges
+    ([machine.bw_mc_bytes{socket=s}], [machine.bw_mc_queue_cycles{socket=s}],
+    [machine.bw_mc_occupancy{socket=s}]) and per-link gauges
+    ([machine.bw_link_bytes{src=a,dst=b}],
+    [machine.bw_link_queue_cycles{src=a,dst=b}]). *)

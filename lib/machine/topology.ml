@@ -21,6 +21,21 @@ let sibling_of_thread t hw =
     let ht = hw mod t.threads_per_core in
     if ht = 0 then Some (hw + 1) else Some (hw - 1)
 
+(* Interconnect links are the ordered socket pairs (src <> dst): each
+   direction of each point-to-point link is its own bandwidth resource. *)
+let nlinks t = t.sockets * (t.sockets - 1)
+
+let link_index t ~src ~dst =
+  assert (src <> dst && src >= 0 && dst >= 0 && src < t.sockets && dst < t.sockets);
+  (src * (t.sockets - 1)) + if dst > src then dst - 1 else dst
+
+let link_ends t i =
+  assert (i >= 0 && i < nlinks t);
+  let src = i / (t.sockets - 1) in
+  let d = i mod (t.sockets - 1) in
+  let dst = if d >= src then d + 1 else d in
+  (src, dst)
+
 let hw_id t ~socket ~core ~ht =
   (((socket * t.cores_per_socket) + core) * t.threads_per_core) + ht
 

@@ -29,6 +29,18 @@ val sibling_of_thread : t -> int -> int option
 
 val socket_of_core : t -> int -> int
 
+val nlinks : t -> int
+(** Number of interconnect link directions: [sockets * (sockets - 1)],
+    one per ordered socket pair — each direction of each point-to-point
+    link is its own bandwidth resource. *)
+
+val link_index : t -> src:int -> dst:int -> int
+(** Dense index of the [src -> dst] link direction in [0, nlinks);
+    [src <> dst]. *)
+
+val link_ends : t -> int -> int * int
+(** Inverse of {!link_index}: [(src, dst)] of a link index. *)
+
 val placement : t -> n:int -> int array
 (** [placement t ~n] is the paper's allocation rule: a minimal number of
     sockets with a single hyperthread per core; once every core has one

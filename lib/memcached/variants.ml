@@ -88,7 +88,9 @@ let ffwd_mc sched ~nclients ~buckets ~capacity =
     name = "ffwd";
     attach = (fun c -> Dps_ffwd.Ffwd.attach f ~client:c);
     set_tagged = None;
-    get = (fun key -> Dps_ffwd.Ffwd.call f ~server:0 (fun () -> if Mc_core.get core key then 1 else 0) = 1);
+    get =
+      (fun key ->
+        Dps_ffwd.Ffwd.call f ~server:0 (fun () -> if Mc_core.get core key then 1 else 0) = 1);
     del =
       (fun key ->
         Dps_ffwd.Ffwd.call f ~server:0 (fun () -> if Mc_core.delete core key then 1 else 0) = 1);

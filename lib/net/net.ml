@@ -170,6 +170,11 @@ let dma_in t c ~bytes =
             ~kind:Machine.Write
     done;
     t.st.dma_lines <- t.st.dma_lines + lines;
+    (* DDIO payload bytes drain the socket's memory-controller bucket;
+       queueing debt delays delivery (0 when bandwidth modeling is off) *)
+    cost :=
+      !cost
+      + Machine.bw_charge_dma t.m ~now:(Sthread.now t.sched) ~socket:c.nic.socket ~bytes;
     !cost
   end
 
@@ -359,13 +364,17 @@ let reply t c data =
     tally_locality t c ~lines;
     (* NIC DMA-reads the ring (coherence only; the engine's own latency is
        folded into serialization) and the packets ride the tx link *)
-    if t.cfg.dma_charge then
+    if t.cfg.dma_charge then begin
       for i = 0 to lines - 1 do
         ignore
           (Machine.access t.m ~now:(Sthread.now t.sched) ~thread:c.nic.dma_hw
              ~addr:(c.tx_ring + ((c.tx_wr - lines + i) mod t.cfg.ring_lines))
              ~kind:Machine.Read)
       done;
+      (* tx DDIO is posted: the bytes drain the bucket but the engine does
+         not block the serving thread (no-op when bandwidth is off) *)
+      ignore (Machine.bw_charge_dma t.m ~now:(Sthread.now t.sched) ~socket:c.nic.socket ~bytes:len)
+    end;
     let mtu = t.cfg.mtu_lines * line_bytes in
     let pos = ref 0 in
     while !pos < len do

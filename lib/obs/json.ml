@@ -118,7 +118,10 @@ let parse_exn s =
     let text = String.sub s start (!pos - start) in
     (* strict JSON: no leading zeros ("01"), no bare "+", no leading "." —
        float_of_string accepts all three *)
-    let digits = if String.length text > 0 && text.[0] = '-' then String.sub text 1 (String.length text - 1) else text in
+    let digits =
+      if String.length text > 0 && text.[0] = '-' then String.sub text 1 (String.length text - 1)
+      else text
+    in
     if String.length digits = 0 || not (digits.[0] >= '0' && digits.[0] <= '9') then
       fail "malformed number" start;
     if

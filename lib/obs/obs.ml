@@ -3,7 +3,14 @@ type arg = A_int of int | A_str of string | A_float of float
 type ev =
   | E_b of { tid : int; ts : int; name : string; cat : string; args : (string * arg) list }
   | E_e of { tid : int; ts : int }
-  | E_x of { tid : int; ts : int; dur : int; name : string; cat : string; args : (string * arg) list }
+  | E_x of {
+      tid : int;
+      ts : int;
+      dur : int;
+      name : string;
+      cat : string;
+      args : (string * arg) list;
+    }
   | E_i of { tid : int; ts : int; name : string; cat : string; args : (string * arg) list }
   | E_ab of { id : int; ts : int; name : string; cat : string; args : (string * arg) list }
   | E_an of { id : int; ts : int; name : string; cat : string }
@@ -15,6 +22,7 @@ type phase = {
   mutable ph_self_work : int;
   mutable ph_self_mem : int;
   mutable ph_self_stall : int;
+  mutable ph_self_bwstall : int;
   mutable ph_self_park : int;
   mutable ph_total : int;
 }
@@ -31,6 +39,7 @@ let phases : (string, phase) Hashtbl.t = Hashtbl.create 32
 let parked : (int, int) Hashtbl.t = Hashtbl.create 64
 let cores : (int, int) Hashtbl.t = Hashtbl.create 64
 let pending_stall = ref 0
+let pending_bw_stall = ref 0
 let failpoint_drop_span_close = ref false
 
 let on () = !trc_on || !prf_on
@@ -47,6 +56,7 @@ let reset () =
   Hashtbl.reset parked;
   Hashtbl.reset cores;
   pending_stall := 0;
+  pending_bw_stall := 0;
   failpoint_drop_span_close := false
 
 let start ?(tracing = true) ?(profiling = true) ?(cycles_per_us = 2000.0) () =
@@ -73,6 +83,7 @@ let phase_of name =
           ph_self_work = 0;
           ph_self_mem = 0;
           ph_self_stall = 0;
+          ph_self_bwstall = 0;
           ph_self_park = 0;
           ph_total = 0;
         }
@@ -132,8 +143,16 @@ let pseudo_tid ~kind i = 1_000_000 + (kind * 10_000) + i
 
 (* ---- profiler feed ---- *)
 
-let clear_stall () = pending_stall := 0
+let clear_stall () =
+  pending_stall := 0;
+  pending_bw_stall := 0
+
 let note_stall n = pending_stall := !pending_stall + n
+
+(* Cycles lost to bandwidth queueing (token-bucket debt), kept separate
+   from latency stalls so the profiler can say whether a phase is bound
+   by how far memory is or by how wide the pipes are. *)
+let note_bw_stall n = pending_bw_stall := !pending_bw_stall + n
 
 let attribute ~tid ~cycles add_self =
   let stack = stack_of tid in
@@ -153,20 +172,23 @@ let charged ~tid ~hw ~cycles ~cls =
     (match Hashtbl.find_opt cores hw with
     | Some c -> Hashtbl.replace cores hw (c + cycles)
     | None -> Hashtbl.add cores hw cycles);
-    let stall =
+    let bwstall, stall =
       match cls with
       | `Mem ->
-          let s = min !pending_stall cycles in
+          let b = min !pending_bw_stall cycles in
+          let s = min !pending_stall (cycles - b) in
+          pending_bw_stall := 0;
           pending_stall := 0;
-          s
-      | `Work -> 0
+          (b, s)
+      | `Work -> (0, 0)
     in
     attribute ~tid ~cycles (fun p ->
         match cls with
         | `Work -> p.ph_self_work <- p.ph_self_work + cycles
         | `Mem ->
-            p.ph_self_mem <- p.ph_self_mem + (cycles - stall);
-            p.ph_self_stall <- p.ph_self_stall + stall)
+            p.ph_self_mem <- p.ph_self_mem + (cycles - stall - bwstall);
+            p.ph_self_stall <- p.ph_self_stall + stall;
+            p.ph_self_bwstall <- p.ph_self_bwstall + bwstall)
   end
 
 let park_begin ~tid ~now = if !prf_on then Hashtbl.replace parked tid now
@@ -320,6 +342,7 @@ type prof_row = {
   self_work : int;
   self_mem : int;
   self_stall : int;
+  self_bwstall : int;
   self_park : int;
   total : int;
 }
@@ -334,6 +357,7 @@ let profile () =
           self_work = p.ph_self_work;
           self_mem = p.ph_self_mem;
           self_stall = p.ph_self_stall;
+          self_bwstall = p.ph_self_bwstall;
           self_park = p.ph_self_park;
           total = p.ph_total + p.ph_self_park;
         }
@@ -346,12 +370,12 @@ let profile () =
     rows
 
 let pp_profile ppf () =
-  Fmt.pf ppf "%-16s %9s %12s %12s %12s %12s %12s@." "phase" "entries" "total" "work" "mem"
-    "stall" "park";
+  Fmt.pf ppf "%-16s %9s %12s %12s %12s %12s %12s %12s@." "phase" "entries" "total" "work"
+    "mem" "stall" "bwstall" "park";
   List.iter
     (fun r ->
-      Fmt.pf ppf "%-16s %9d %12d %12d %12d %12d %12d@." r.phase r.entries r.total
-        r.self_work r.self_mem r.self_stall r.self_park)
+      Fmt.pf ppf "%-16s %9d %12d %12d %12d %12d %12d %12d@." r.phase r.entries r.total
+        r.self_work r.self_mem r.self_stall r.self_bwstall r.self_park)
     (profile ())
 
 let core_cycles () =

@@ -120,10 +120,17 @@ val note_stall : int -> unit
     are coherence/memory stalls (write serialization, DRAM queueing).
     Accumulates until consumed by the next {!charged}. *)
 
+val note_bw_stall : int -> unit
+(** Machine model: of the access being costed right now, this many cycles
+    are bandwidth queueing — token-bucket debt on a memory controller or
+    interconnect link. Kept separate from {!note_stall} so the profiler
+    distinguishes latency-bound from bandwidth-bound phases. Cleared
+    together with latency stalls by {!clear_stall}. *)
+
 val charged : tid:int -> hw:int -> cycles:int -> cls:[ `Work | `Mem ] -> unit
 (** Attribute [cycles] just charged to [tid] (running on hardware thread
-    [hw]) to its innermost open span; consumes pending {!note_stall}
-    cycles out of [`Mem]. *)
+    [hw]) to its innermost open span; consumes pending {!note_stall} and
+    {!note_bw_stall} cycles out of [`Mem]. *)
 
 val park_begin : tid:int -> now:int -> unit
 val park_end : tid:int -> now:int -> unit
@@ -163,6 +170,7 @@ type prof_row = {
   self_work : int;
   self_mem : int;  (** memory cycles net of stalls *)
   self_stall : int;  (** coherence-stall portion (write serialization, DRAM queueing) *)
+  self_bwstall : int;  (** bandwidth-queueing portion (token-bucket debt) *)
   self_park : int;  (** parked wall-cycles attributed to the phase *)
   total : int;  (** inclusive: self of this phase plus everything charged below it *)
 }

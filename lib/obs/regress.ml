@@ -128,7 +128,8 @@ let summary fresh =
   let pick name r = List.assoc_opt name r.metrics in
   let tput =
     List.filter_map
-      (fun r -> match pick "throughput_mops" r with Some v -> Some v | None -> pick "goodput_mops" r)
+      (fun r ->
+        match pick "throughput_mops" r with Some v -> Some v | None -> pick "goodput_mops" r)
       fresh
     |> mean
   in

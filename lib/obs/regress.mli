@@ -2,9 +2,10 @@
 
     Bench figures emit flat JSON record arrays ([BENCH_<name>.json]):
     each record an object with string fields [section], [series] and [x],
-    and one or more numeric metrics ([throughput_mops], [p99], ...). The simulator is deterministic, so on an unchanged tree
-    a fresh run reproduces the committed baseline {e exactly}; drift is
-    always caused by a code change.
+    and one or more numeric metrics ([throughput_mops], [p99], ...). The
+    simulator is deterministic, so on an unchanged tree a fresh run
+    reproduces the committed baseline {e exactly}; drift is always caused
+    by a code change.
 
     Gating policy (per compared file):
     - a {b point-set mismatch} — a (section, series, x) present in the

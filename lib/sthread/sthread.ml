@@ -333,14 +333,13 @@ let access_pipelined ~factor ~kind addr =
   let t, state = ctx () in
   let obs = Obs.on () in
   if obs then Obs.clear_stall ();
-  let cost = Machine.access t.m ~now:t.time ~thread:state.hw ~addr ~kind in
-  if obs then
-    Obs.charged ~tid:state.tid ~hw:state.hw ~cycles:(max 1 (cost / factor)) ~cls:`Mem;
+  let cost = Machine.access_mlp t.m ~now:t.time ~thread:state.hw ~addr ~kind ~factor in
+  if obs then Obs.charged ~tid:state.tid ~hw:state.hw ~cycles:cost ~cls:`Mem;
   let cls =
     match kind with Machine.Read -> Load | Machine.Write -> Store | Machine.Rmw -> Atomic
   in
   if cls = Store then emit t (T_access { tid = state.tid; cls; addr });
-  suspend_tagged (Access_op (kind, addr)) (max 1 (cost / factor) + take_pending state);
+  suspend_tagged (Access_op (kind, addr)) (cost + take_pending state);
   if cls <> Store then emit t (T_access { tid = state.tid; cls; addr })
 
 let charge_read_cls cls addr =

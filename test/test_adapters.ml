@@ -313,7 +313,9 @@ let test_dedicated_poller_responsiveness () =
 let test_poller_requires_flag () =
   let m = Machine.create Machine.config_default in
   let sched = Sthread.create m in
-  let dps = Dps.create sched ~nclients:10 ~locality_size:10 ~hash:Fun.id ~mk_data:(fun _ -> ()) () in
+  let dps =
+    Dps.create sched ~nclients:10 ~locality_size:10 ~hash:Fun.id ~mk_data:(fun _ -> ()) ()
+  in
   Sthread.spawn sched ~hw:2 (fun () -> Dps.run_poller dps ~pid:0);
   Alcotest.check_raises "flag required"
     (Failure "Dps: create with ~dedicated_pollers:true to run pollers") (fun () ->

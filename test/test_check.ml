@@ -556,7 +556,8 @@ let test_mutation_skipped_completion_fence () =
 
 let set_cases =
   List.map
-    (fun (module S : SET) -> (S.name ^ " linearizable under explored schedules", `Quick, sweep_set (module S)))
+    (fun (module S : SET) ->
+      (S.name ^ " linearizable under explored schedules", `Quick, sweep_set (module S)))
     sets
 
 let suite =
@@ -578,12 +579,16 @@ let suite =
   @ set_cases
   @ [
       ("ms queue strict FIFO under schedules", `Quick, sweep_simple "queue_ms" queue_scenario);
-      ("treiber stack strict LIFO under schedules", `Quick, sweep_simple "stack_treiber" stack_scenario);
+      ( "treiber stack strict LIFO under schedules",
+        `Quick,
+        sweep_simple "stack_treiber" stack_scenario );
       ("shavit pq bag semantics under schedules", `Quick, sweep_simple "pq_shavit" pq_scenario);
       ("dps stack adapter relaxed bag", `Quick, sweep_simple "dps_stack" dps_stack_scenario);
       ("dps queue adapter relaxed bag", `Quick, sweep_simple "dps_queue" dps_queue_scenario);
       ("dps pq adapter relaxed bag", `Quick, sweep_simple "dps_pq" dps_pq_scenario);
-      ("dps exactly-once delegation", `Quick, sweep_simple "dps_exactly_once" dps_exactly_once_scenario);
+      ( "dps exactly-once delegation",
+        `Quick,
+        sweep_simple "dps_exactly_once" dps_exactly_once_scenario );
       ("dps takeover after crash", `Quick, sweep_simple "dps_takeover" dps_takeover_scenario);
       ("mutation: dropped CAS retry caught", `Quick, test_mutation_dropped_cas_retry);
       ("mutation: skipped completion fence caught", `Quick, test_mutation_skipped_completion_fence);

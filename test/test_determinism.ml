@@ -82,7 +82,9 @@ let with_jobs n f =
    json_begin/json_end around it — exactly what bench/main.ml does. *)
 let tiny_figure ~jobs =
   with_jobs jobs (fun () ->
-      let w size = Bench.workload ~threads:8 ~size ~update_pct:20 ~skewed:false ~duration:20_000 () in
+      let w size =
+        Bench.workload ~threads:8 ~size ~update_pct:20 ~skewed:false ~duration:20_000 ()
+      in
       let series (module S : Dps_ds.Set_intf.SET) =
         ( S.name,
           List.map
@@ -93,7 +95,9 @@ let tiny_figure ~jobs =
       in
       Bench.json_begin ();
       Bench.print_header "determinism: tiny figure";
-      let rows = Bench.run_series [ series (module Dps_ds.Ll_lazy); series (module Dps_ds.Bst_tk) ] in
+      let rows =
+        Bench.run_series [ series (module Dps_ds.Ll_lazy); series (module Dps_ds.Bst_tk) ]
+      in
       List.iter (fun (label, pts) -> Bench.print_series ~label pts) rows;
       let file = Printf.sprintf "BENCH_det_j%d.json" jobs in
       Bench.json_end ~name:(Printf.sprintf "det_j%d" jobs);

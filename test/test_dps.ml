@@ -244,7 +244,9 @@ let test_rebalance_moves_bucket () =
           let from = Dps.bucket_owner dps ~bucket in
           let to_ = 1 - from in
           List.iter
-            (fun key -> ignore (Dps.call dps ~key (fun h -> if H.insert h ~key ~value:(key * 3) then 1 else 0)))
+            (fun key ->
+              ignore
+                (Dps.call dps ~key (fun h -> if H.insert h ~key ~value:(key * 3) then 1 else 0)))
             keys;
           Dps.rebalance dps ~bucket ~to_
             ~extract:(fun h b ->
@@ -262,7 +264,10 @@ let test_rebalance_moves_bucket () =
           (* the bucket's keys survive the move and route to the new owner *)
           let all_found =
             List.for_all
-              (fun key -> Dps.call dps ~key (fun h -> match H.lookup h key with Some v -> v | None -> -1) = key * 3)
+              (fun key ->
+                Dps.call dps ~key (fun h ->
+                    match H.lookup h key with Some v -> v | None -> -1)
+                = key * 3)
               keys
           in
           moved_ok := all_found && Dps.bucket_owner dps ~bucket = to_

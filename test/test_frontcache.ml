@@ -199,7 +199,8 @@ let encode_ops ops =
     (fun o ->
       Wire.encode_request b
         (match o with
-        | S k -> Wire.Set { key = string_of_int k; flags = 0; exptime = 0; data = "v"; noreply = false }
+        | S k ->
+            Wire.Set { key = string_of_int k; flags = 0; exptime = 0; data = "v"; noreply = false }
         | D k -> Wire.Delete { key = string_of_int k; noreply = false }
         | G ks -> Wire.Get (List.map string_of_int ks)))
     ops;
@@ -263,7 +264,9 @@ let test_read_your_writes_same_conn () =
   let expected =
     Array.init nconns (fun c ->
         let present = Array.make nkeys false in
-        Array.iteri (fun i _ -> if i >= shared_base && i < shared_base + 16 then present.(i) <- true) present;
+        Array.iteri
+          (fun i _ -> if i >= shared_base && i < shared_base + 16 then present.(i) <- true)
+          present;
         expected_shapes ~present (script c 0))
   in
   Array.iteri (fun c (conn, _) -> Net.send net conn (encode_ops (script c 0))) conns;
@@ -294,7 +297,9 @@ let test_no_stale_read_across_takeover () =
   let expected =
     Array.init nconns (fun c ->
         let present = Array.make nkeys false in
-        Array.iteri (fun i _ -> if i >= shared_base && i < shared_base + 16 then present.(i) <- true) present;
+        Array.iteri
+          (fun i _ -> if i >= shared_base && i < shared_base + 16 then present.(i) <- true)
+          present;
         expected_shapes ~present (script c 0 @ script c 1))
   in
   Array.iteri (fun c (conn, _) -> Net.send net conn (encode_ops (script c 0))) conns;

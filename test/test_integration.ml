@@ -10,7 +10,12 @@ module Ffwd = Dps_ffwd.Ffwd
 module type SET = Dps_ds.Set_intf.SET
 
 let dps_structures : (module SET) list =
-  [ (module Dps_ds.Ll_lazy); (module Dps_ds.Bst_tk); (module Dps_ds.Sl_fraser); (module Dps_ds.Hashtable) ]
+  [
+    (module Dps_ds.Ll_lazy);
+    (module Dps_ds.Bst_tk);
+    (module Dps_ds.Sl_fraser);
+    (module Dps_ds.Hashtable);
+  ]
 
 let dps_set_conflict (module S : SET) () =
   let m = Machine.create Machine.config_default in
@@ -90,10 +95,15 @@ let ffwd_set_conflict () =
           let key = 1 + Prng.int p key_range in
           let shard = key mod servers in
           if Prng.bool p then begin
-            if Ffwd.call f ~server:shard (fun () -> if S.insert shards.(shard) ~key ~value:key then 1 else 0) = 1
+            if
+              Ffwd.call f ~server:shard (fun () ->
+                  if S.insert shards.(shard) ~key ~value:key then 1 else 0)
+              = 1
             then ins.(key) <- ins.(key) + 1
           end
-          else if Ffwd.call f ~server:shard (fun () -> if S.remove shards.(shard) key then 1 else 0) = 1
+          else if
+            Ffwd.call f ~server:shard (fun () -> if S.remove shards.(shard) key then 1 else 0)
+            = 1
           then rem.(key) <- rem.(key) + 1
         done;
         Ffwd.client_done f)

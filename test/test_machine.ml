@@ -32,7 +32,9 @@ let test_placement_minimal_sockets () =
   (* paper rule: n <= 10 uses one socket, one hyperthread per core *)
   let p10 = Topology.placement topo ~n:10 in
   Alcotest.(check (list int)) "10 threads on socket 0" [ 0 ] (sockets_used p10);
-  let cores = Array.to_list p10 |> List.map (Topology.core_of_thread topo) |> List.sort_uniq compare in
+  let cores =
+    Array.to_list p10 |> List.map (Topology.core_of_thread topo) |> List.sort_uniq compare
+  in
   Alcotest.(check int) "10 distinct cores" 10 (List.length cores)
 
 let test_placement_spreads_then_hyperthreads () =
@@ -60,7 +62,9 @@ let test_localities () =
   Alcotest.(check int) "8 localities" 8 (Array.length locs);
   Array.iter
     (fun loc ->
-      let socks = loc |> Array.to_list |> List.map (Topology.socket_of_thread topo) |> List.sort_uniq compare in
+      let socks =
+        loc |> Array.to_list |> List.map (Topology.socket_of_thread topo) |> List.sort_uniq compare
+      in
       Alcotest.(check int) "locality within one socket" 1 (List.length socks))
     locs
 
@@ -93,7 +97,8 @@ let qcheck_cachebox_capacity =
       let cb = Cachebox.create ~capacity:8 (Prng.create 17L) in
       List.iter (fun a -> ignore (Cachebox.add cb a)) addrs;
       Cachebox.size cb <= 8
-      && List.length (List.filter (Cachebox.mem cb) (List.sort_uniq compare addrs)) = Cachebox.size cb)
+      && List.length (List.filter (Cachebox.mem cb) (List.sort_uniq compare addrs))
+         = Cachebox.size cb)
 
 let mk_machine () = Machine.create Machine.config_default
 
@@ -113,14 +118,18 @@ let test_access_costs_ordering () =
   let a = Machine.alloc m (Machine.On_node 0) ~lines:1 in
   (* First access by a socket-0 thread: page walk + local DRAM. *)
   let c1 = Machine.access m ~now:0 ~thread:0 ~addr:a ~kind:Machine.Read in
-  Alcotest.(check int) "cold read = walk + local DRAM" (costs.Costs.walk_local + costs.Costs.dram_local) c1;
+  Alcotest.(check int) "cold read = walk + local DRAM"
+    (costs.Costs.walk_local + costs.Costs.dram_local)
+    c1;
   (* Second access: TLB and private cache hit. *)
   let c2 = Machine.access m ~now:0 ~thread:0 ~addr:a ~kind:Machine.Read in
   Alcotest.(check int) "warm read = private hit" costs.Costs.priv_hit c2;
   (* Read by another thread on the same socket (different core): its own
      TLB is cold, the data comes from the shared LLC. *)
   let c3 = Machine.access m ~now:0 ~thread:4 ~addr:a ~kind:Machine.Read in
-  Alcotest.(check int) "same-socket read = walk + LLC hit" (costs.Costs.walk_local + costs.Costs.llc_hit) c3;
+  Alcotest.(check int) "same-socket read = walk + LLC hit"
+    (costs.Costs.walk_local + costs.Costs.llc_hit)
+    c3;
   (* Read by a remote-socket thread: remote transfer, dearer than local LLC. *)
   let remote_thread = 2 * Topology.default.Topology.cores_per_socket * 2 in
   let c4 = Machine.access m ~now:0 ~thread:remote_thread ~addr:a ~kind:Machine.Read in
@@ -214,8 +223,11 @@ let test_tlb_remote_walk_dearer () =
   let remote = Machine.alloc m (Machine.On_node 3) ~lines:64 in
   let c_local = Machine.access m ~now:0 ~thread:0 ~addr:local ~kind:Machine.Read in
   let c_remote = Machine.access m ~now:0 ~thread:0 ~addr:remote ~kind:Machine.Read in
-  Alcotest.(check int) "local walk + local dram" (costs.Costs.walk_local + costs.Costs.dram_local) c_local;
-  Alcotest.(check int) "remote walk + remote dram" (costs.Costs.walk_remote + costs.Costs.dram_remote)
+  Alcotest.(check int) "local walk + local dram"
+    (costs.Costs.walk_local + costs.Costs.dram_local)
+    c_local;
+  Alcotest.(check int) "remote walk + remote dram"
+    (costs.Costs.walk_remote + costs.Costs.dram_remote)
     c_remote
 
 let test_write_queueing () =
@@ -251,7 +263,9 @@ let test_work_cost_dilation () =
 
 let test_many_regions_lookup () =
   let m = mk_machine () in
-  let bases = Array.init 200 (fun i -> Machine.alloc m (Machine.On_node (i mod 4)) ~lines:(1 + (i mod 7))) in
+  let bases =
+    Array.init 200 (fun i -> Machine.alloc m (Machine.On_node (i mod 4)) ~lines:(1 + (i mod 7)))
+  in
   Array.iteri
     (fun i base ->
       Alcotest.(check int) "first line homed right" (i mod 4) (Machine.home_of m base);
@@ -261,7 +275,8 @@ let test_many_regions_lookup () =
 
 let test_unallocated_access_rejected () =
   let m = mk_machine () in
-  Alcotest.check_raises "unallocated address" (Invalid_argument "Machine: access to unallocated address 999")
+  Alcotest.check_raises "unallocated address"
+    (Invalid_argument "Machine: access to unallocated address 999")
     (fun () -> ignore (Machine.access m ~now:0 ~thread:0 ~addr:999 ~kind:Machine.Read))
 
 let test_cycles_to_seconds () =

@@ -22,5 +22,6 @@ let () =
       ("batch", Test_batch.suite);
       ("obs", Test_obs.suite);
       ("adapt", Test_adapt.suite);
+      ("bw", Test_bw.suite);
       ("determinism", Test_determinism.suite);
     ]

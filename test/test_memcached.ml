@@ -186,7 +186,8 @@ let suite =
     ("core eviction clock", `Quick, test_core_eviction_clock);
     ("core hit rate", `Quick, test_core_hit_rate);
     ("dps eviction bounded", `Quick, test_dps_eviction);
-    variant_case "stock" (fun sched n -> Variants.stock sched ~nclients:n ~buckets:256 ~capacity:1000);
+    variant_case "stock" (fun sched n ->
+        Variants.stock sched ~nclients:n ~buckets:256 ~capacity:1000);
     variant_case "parsec" (fun sched n ->
         Variants.parsec sched ~nclients:n ~buckets:256 ~capacity:1000);
     variant_case "ffwd" (fun sched n ->

@@ -246,7 +246,10 @@ let test_truncated_multiget_response () =
     match Wire.next_response d with
     | Wire.Item
         (Wire.Values
-          [ { Wire.vkey = "a"; vflags = 0; vdata = "xxxx" }; { Wire.vkey = "bb"; vflags = 7; vdata = v } ])
+          [
+            { Wire.vkey = "a"; vflags = 0; vdata = "xxxx" };
+            { Wire.vkey = "bb"; vflags = 7; vdata = v };
+          ])
       ->
         Alcotest.(check int) "second value intact" 64 (String.length v)
     | _ -> Alcotest.failf "cut %d: reassembled frame did not parse" cut
@@ -432,7 +435,9 @@ let test_server_connection_limit () =
   let s = mk () in
   let net = Net.create s () in
   let backend = Variants.stock s ~nclients:2 ~buckets:64 ~capacity:128 in
-  let srv = Server.start s net ~backend { Server.default_config with npollers = 2; max_conns = 2 } in
+  let srv =
+    Server.start s net ~backend { Server.default_config with npollers = 2; max_conns = 2 }
+  in
   let refused = ref 0 in
   for _ = 1 to 4 do
     ignore (Net.connect net ~nic:0 ~rx:(fun _ -> ()) ~on_refused:(fun () -> incr refused) ())

@@ -95,7 +95,9 @@ let test_bitset_exists () =
 
 let test_heap_ordering () =
   let h = Heap.create () in
-  List.iter (fun (t, v) -> Heap.push h ~time:t v) [ (5, "e"); (1, "a"); (3, "c"); (2, "b"); (4, "d") ];
+  List.iter
+    (fun (t, v) -> Heap.push h ~time:t v)
+    [ (5, "e"); (1, "a"); (3, "c"); (2, "b"); (4, "d") ];
   let out = ref [] in
   let rec drain () =
     match Heap.pop h with
@@ -148,8 +150,14 @@ let test_histogram_percentiles () =
   Alcotest.(check int) "count" 1000 (Histogram.count h);
   let p50 = Histogram.percentile h 0.5 in
   let p99 = Histogram.percentile h 0.99 in
-  Alcotest.(check bool) (Printf.sprintf "p50 near 500 (got %d)" p50) true (p50 >= 450 && p50 <= 550);
-  Alcotest.(check bool) (Printf.sprintf "p99 near 990 (got %d)" p99) true (p99 >= 950 && p99 <= 1000);
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 near 500 (got %d)" p50)
+    true
+    (p50 >= 450 && p50 <= 550);
+  Alcotest.(check bool)
+    (Printf.sprintf "p99 near 990 (got %d)" p99)
+    true
+    (p99 >= 950 && p99 <= 1000);
   Alcotest.(check int) "max" 1000 (Histogram.max_value h)
 
 let test_histogram_mean () =

@@ -166,9 +166,11 @@ let test_driver_reproducible () =
   in
   let r1 = run_once () and r2 = run_once () in
   Alcotest.(check int) "same ops" r1.Driver.ops r2.Driver.ops;
-  Alcotest.(check (float 0.0)) "same throughput" r1.Driver.throughput_mops r2.Driver.throughput_mops;
+  Alcotest.(check (float 0.0)) "same throughput" r1.Driver.throughput_mops
+    r2.Driver.throughput_mops;
   Alcotest.(check int) "same p99" r1.Driver.p99 r2.Driver.p99;
-  Alcotest.(check (float 0.0)) "same misses/op" r1.Driver.llc_misses_per_op r2.Driver.llc_misses_per_op
+  Alcotest.(check (float 0.0)) "same misses/op" r1.Driver.llc_misses_per_op
+    r2.Driver.llc_misses_per_op
 
 let suite =
   [
